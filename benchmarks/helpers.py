@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation section:
+it computes the same rows/series the paper reports, prints them, writes them to
+``benchmarks/results/<name>.txt`` (so EXPERIMENTS.md can quote them), and asserts the
+qualitative shape.  Timings are collected with pytest-benchmark in single-shot
+pedantic mode -- the interesting output is the reproduced data, not the runtime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.dataflow.gemm import GEMMWorkload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a benchmark's table to benchmarks/results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+def paper_gemm(bits: int = 8, seed: int = 0) -> GEMMWorkload:
+    """The (280x28) x (28x280) GEMM used for the TeMPO validation and sweeps."""
+    rng = np.random.default_rng(seed)
+    return GEMMWorkload(
+        "gemm_280x28_28x280",
+        m=280,
+        k=28,
+        n=280,
+        input_bits=bits,
+        weight_bits=bits,
+        output_bits=bits,
+        weight_values=rng.normal(0.0, 0.25, size=(28, 280)),
+        input_values=rng.normal(0.0, 0.5, size=(280, 28)),
+    )
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

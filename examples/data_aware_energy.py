@@ -1,0 +1,80 @@
+"""Data-aware energy modeling on a weight-static PTC (SCATTER).
+
+Reproduces the paper's Fig. 5 / Fig. 10(b) methodology: the same layer is evaluated
+under three power-model fidelity levels --
+
+1. data-independent: every phase shifter burns its nominal P_pi power;
+2. data-aware with an analytical device model: power follows the phase each actual
+   weight value requires;
+3. data-aware with a "measured" (tabulated) device curve interpolated at runtime;
+
+-- and with/without magnitude pruning, which lets pruned weight cells be power-gated
+entirely.  The example prints the PS energy under each mode so the savings from data
+awareness (and the extra fidelity of measured curves) are directly visible.
+
+Run with:  python examples/data_aware_energy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GEMMWorkload, SimulationConfig, Simulator
+from repro.arch.templates import build_scatter
+from repro.devices.response import QuadraticPhaseShifterResponse, TabulatedResponse
+from repro.onn.prune import magnitude_prune_mask
+from repro.utils.format import format_table
+
+
+def measured_curve(p_pi_mw: float) -> TabulatedResponse:
+    """Stand-in for a Lumerical-HEAT / chip-measured heater power curve."""
+    settings = np.linspace(-1.0, 1.0, 33)
+    analytical = QuadraticPhaseShifterResponse(p_pi_mw)
+    powers = np.array([analytical.power_mw(s) for s in settings]) * 0.97
+    return TabulatedResponse(settings, powers)
+
+
+def make_workload(prune_ratio: float = 0.0) -> GEMMWorkload:
+    rng = np.random.default_rng(7)
+    weights = rng.normal(0.0, 0.25, size=(16, 16))
+    mask = magnitude_prune_mask(weights, prune_ratio) if prune_ratio > 0 else None
+    return GEMMWorkload(
+        "scatter_layer",
+        m=1024,
+        k=16,
+        n=16,
+        weight_values=weights,
+        pruning_mask=mask,
+        input_values=rng.normal(0.0, 0.5, size=(1024, 16)),
+    )
+
+
+def run(mode: str, data_aware: bool, use_measured_curve: bool, prune_ratio: float):
+    arch = build_scatter()
+    if use_measured_curve:
+        p_pi = arch.library["phase_shifter"].nominal_power_mw()
+        arch.library.register(
+            arch.library["phase_shifter"].with_response(measured_curve(p_pi))
+        )
+    sim = Simulator(arch, SimulationConfig(data_aware=data_aware))
+    result = sim.run(make_workload(prune_ratio))
+    ps_uj = result.energy_breakdown_pj.get("PS", 0.0) / 1e6
+    return (mode, f"{ps_uj:.3f}", f"{result.total_energy_uj:.3f}",
+            f"{prune_ratio:.0%}")
+
+
+def main() -> None:
+    rows = [
+        run("data-independent (nominal P_pi)", False, False, 0.0),
+        run("data-aware, analytical model", True, False, 0.0),
+        run("data-aware, measured curve", True, True, 0.0),
+        run("data-aware, measured curve + 50% pruning", True, True, 0.5),
+    ]
+    print(format_table(["power model", "PS energy (uJ)", "total (uJ)", "pruning"], rows))
+    print()
+    print("Data awareness roughly halves the phase-shifter energy for typical weight")
+    print("distributions; pruning power-gates the remaining cells for further savings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Design-space exploration: sweep PTC architectural parameters on TeMPO.
+
+Reproduces the style of the paper's Section IV-B use cases: sweep the number of
+wavelengths (Fig. 9a) and the converter bitwidth (Fig. 9b) on the
+(280x28) x (28x280) GEMM, and additionally sweep the core size -- an example of the
+kind of exploration the framework is built for.  Prints one table per sweep with
+energy, latency and the dominant energy component, so the efficiency sweet spots are
+visible at a glance.
+
+Run with:  python examples/design_space_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GEMMWorkload, Simulator
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_tempo
+from repro.utils.format import format_table
+
+
+def paper_gemm(bits: int = 8) -> GEMMWorkload:
+    rng = np.random.default_rng(0)
+    return GEMMWorkload(
+        "gemm_280x28_28x280",
+        m=280,
+        k=28,
+        n=280,
+        input_bits=bits,
+        weight_bits=bits,
+        output_bits=bits,
+        weight_values=rng.normal(0.0, 0.25, size=(28, 280)),
+        input_values=rng.normal(0.0, 0.5, size=(280, 28)),
+    )
+
+
+def dominant(breakdown: dict) -> str:
+    return max(breakdown, key=breakdown.get)
+
+
+def sweep_wavelengths() -> None:
+    rows = []
+    for wavelengths in (1, 2, 3, 4, 5, 6, 7):
+        arch = build_tempo(
+            config=ArchitectureConfig(num_wavelengths=wavelengths),
+            name=f"tempo_w{wavelengths}",
+        )
+        result = Simulator(arch).run(paper_gemm())
+        rows.append(
+            (
+                wavelengths,
+                f"{result.total_energy_uj:.3f}",
+                f"{result.total_time_ns:.0f}",
+                f"{result.energy_per_mac_pj:.3f}",
+                dominant(result.energy_breakdown_pj),
+            )
+        )
+    print("== wavelength sweep (Fig. 9a style) ==")
+    print(format_table(
+        ["# wavelengths", "energy (uJ)", "latency (ns)", "pJ/MAC", "dominant"], rows
+    ))
+    print()
+
+
+def sweep_bitwidths() -> None:
+    rows = []
+    for bits in (2, 3, 4, 5, 6, 7, 8):
+        arch = build_tempo(
+            config=ArchitectureConfig(input_bits=bits, weight_bits=bits, output_bits=bits),
+            name=f"tempo_b{bits}",
+        )
+        result = Simulator(arch).run(paper_gemm(bits=bits))
+        rows.append(
+            (
+                bits,
+                f"{result.total_energy_uj:.3f}",
+                f"{result.energy_per_mac_pj:.3f}",
+                dominant(result.energy_breakdown_pj),
+            )
+        )
+    print("== bitwidth sweep (Fig. 9b style) ==")
+    print(format_table(["bitwidth", "energy (uJ)", "pJ/MAC", "dominant"], rows))
+    print()
+
+
+def sweep_core_size() -> None:
+    rows = []
+    for size in (2, 4, 8, 12, 16):
+        arch = build_tempo(
+            config=ArchitectureConfig(core_height=size, core_width=size),
+            name=f"tempo_{size}x{size}",
+        )
+        result = Simulator(arch).run(paper_gemm())
+        area = result.area_reports[arch.name].photonic_core_area_mm2
+        rows.append(
+            (
+                f"{size}x{size}",
+                f"{result.total_energy_uj:.3f}",
+                f"{result.total_time_ns:.0f}",
+                f"{area:.3f}",
+                f"{arch.critical_path_loss_db():.2f}",
+                f"{result.link_budgets[arch.name].laser_optical_power_mw:.2f}",
+            )
+        )
+    print("== core-size sweep (area / loss / laser trade-off) ==")
+    print(format_table(
+        ["core", "energy (uJ)", "latency (ns)", "core area (mm2)", "IL (dB)", "laser (mW)"],
+        rows,
+    ))
+
+
+def main() -> None:
+    sweep_wavelengths()
+    sweep_bitwidths()
+    sweep_core_size()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Heterogeneous mapping: VGG-8 on CIFAR-10 with two photonic sub-architectures.
+
+Reproduces the paper's Fig. 11 use case end to end:
+
+1. build the VGG-8 model (numpy TorchONN-lite substrate);
+2. convert it to its ONN version -- 8-bit quantization, 30 % magnitude pruning, and
+   a per-layer-type PTC assignment (convolutions -> SCATTER, linear -> MZI mesh);
+3. extract per-layer GEMM workloads from a real forward pass on a CIFAR-10-sized
+   image, so the weight values and pruning masks flow into the energy model;
+4. simulate on a heterogeneous system whose two sub-architectures share one memory
+   hierarchy, and print the per-layer energy table.
+
+Run with:  python examples/heterogeneous_vgg8.py  [width_multiplier]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Simulator
+from repro.arch.architecture import HeterogeneousArchitecture
+from repro.arch.templates import build_mzi_mesh, build_scatter
+from repro.onn import ONNConversionConfig, convert_to_onn, extract_workloads
+from repro.onn.models import build_vgg8_cifar10
+from repro.utils.format import format_table
+
+
+def main(width_multiplier: float = 0.25) -> None:
+    print(f"building VGG-8 (width multiplier {width_multiplier}) ...")
+    model = build_vgg8_cifar10(width_multiplier=width_multiplier, input_size=32)
+    convert_to_onn(
+        model,
+        ONNConversionConfig(
+            input_bits=8,
+            weight_bits=8,
+            output_bits=8,
+            prune_ratio=0.3,
+            ptc_assignment={"conv": "scatter", "linear": "mzi_mesh"},
+        ),
+    )
+
+    image = np.random.default_rng(0).normal(size=(3, 32, 32))
+    workloads = extract_workloads(model, image)
+    print(f"extracted {len(workloads)} GEMM workloads, "
+          f"{sum(w.num_macs for w in workloads) / 1e6:.1f} MMACs total\n")
+
+    system = HeterogeneousArchitecture(name="vgg8_hybrid")
+    system.add("scatter", build_scatter())
+    system.add("mzi_mesh", build_mzi_mesh())
+
+    sim = Simulator(system, type_rules={"conv": "scatter", "linear": "mzi_mesh"})
+    result = sim.run(workloads)
+
+    rows = []
+    for layer in result.layers:
+        rows.append(
+            (
+                layer.name,
+                layer.arch_name,
+                layer.workload.num_macs,
+                f"{layer.latency.total_cycles}",
+                f"{layer.total_energy_pj / 1e6:.4f}",
+                f"{layer.workload.sparsity:.2f}",
+            )
+        )
+    print(format_table(
+        ["layer", "sub-architecture", "MACs", "cycles", "energy (uJ)", "sparsity"], rows
+    ))
+    print()
+    print(f"total energy : {result.total_energy_uj:.3f} uJ")
+    print(f"total latency: {result.total_time_ns / 1e3:.1f} us")
+    print(f"energy by sub-architecture: "
+          f"{ {k: round(v / 1e6, 3) for k, v in result.energy_by_arch().items()} } uJ")
+
+
+if __name__ == "__main__":
+    width = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    main(width)

@@ -1,0 +1,75 @@
+"""Automated design-space exploration with Pareto-front extraction.
+
+Uses the :mod:`repro.explore` extension to sweep the TeMPO architecture over core
+size and wavelength count for the paper's (280x28) x (28x280) GEMM, then prints all
+evaluated design points and marks the Pareto-optimal ones over the
+energy / latency / area objectives.
+
+Run with:  python examples/pareto_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GEMMWorkload
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_tempo
+from repro.explore import DesignSpace, DesignSpaceExplorer
+from repro.utils.format import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    workload = GEMMWorkload(
+        "gemm_280x28_28x280",
+        m=280,
+        k=28,
+        n=280,
+        weight_values=rng.normal(0.0, 0.25, size=(28, 280)),
+        input_values=rng.normal(0.0, 0.5, size=(280, 28)),
+    )
+
+    explorer = DesignSpaceExplorer(
+        build_tempo,
+        [workload],
+        base_config=ArchitectureConfig(num_tiles=2, cores_per_tile=2, frequency_ghz=5.0),
+    )
+    space = DesignSpace(
+        {
+            "core_height": [2, 4, 8],
+            "core_width": [2, 4, 8],
+            "num_wavelengths": [1, 2, 4],
+        }
+    )
+    print(f"exploring {space.size()} design points ...")
+    result = explorer.explore(space)
+    front = result.pareto_front(("energy_uj", "latency_ns", "area_mm2"))
+
+    rows = []
+    for point in sorted(result.points, key=lambda p: p.energy_uj):
+        rows.append(
+            (
+                ", ".join(f"{k}={v}" for k, v in sorted(point.parameters.items())),
+                f"{point.energy_uj:.3f}",
+                f"{point.latency_ns:.0f}",
+                f"{point.area_mm2:.3f}",
+                f"{point.laser_power_mw:.1f}",
+                "*" if point in front else "",
+            )
+        )
+    print(
+        format_table(
+            ["design point", "energy (uJ)", "latency (ns)", "area (mm2)", "laser (mW)", "pareto"],
+            rows,
+        )
+    )
+    print()
+    print(f"{len(front)} of {len(result)} design points are Pareto-optimal")
+    print(f"lowest-energy point : {result.best('energy_uj').parameters}")
+    print(f"lowest-latency point: {result.best('latency_ns').parameters}")
+    print(f"smallest-area point : {result.best('area_mm2').parameters}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""SimPhony reproduction: cross-layer electronic-photonic AI system simulator.
+
+The package mirrors the layering of the SimPhony paper (DAC 2025):
+
+- :mod:`repro.devices`  -- SimPhony-DevLib, the electronic-photonic device library.
+- :mod:`repro.netlist`  -- directed 2-pin netlists, weighted DAGs, scaling rules.
+- :mod:`repro.arch`     -- SimPhony-Arch, the hierarchical architecture builder and
+  the template photonic-tensor-core architectures (TeMPO, MZI mesh, SCATTER, ...).
+- :mod:`repro.memory`   -- the CACTI-like memory substrate and the four-level
+  HBM/GLB/LB/RF hierarchy.
+- :mod:`repro.onn`      -- the TorchONN-lite substrate: numpy NN layers, models,
+  digital-to-ONN conversion and GEMM workload extraction.
+- :mod:`repro.dataflow` -- photonics-specific dataflow mapping.
+- :mod:`repro.layout`   -- signal-flow-aware floorplanning for layout-aware area.
+- :mod:`repro.core`     -- SimPhony-Sim: the Simulator and the latency / energy /
+  area / link-budget / memory analyzers.
+"""
+
+from repro.core.simulator import Simulator, SimulationResult
+from repro.core.config import SimulationConfig
+from repro.devices.library import DeviceLibrary
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.dataflow.gemm import GEMMWorkload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "SimulationConfig",
+    "DeviceLibrary",
+    "Architecture",
+    "ArchitectureConfig",
+    "GEMMWorkload",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""SimPhony-Arch: hierarchical, parametric heterogeneous EPIC architecture builder.
+
+An :class:`~repro.arch.architecture.Architecture` bundles
+
+- an :class:`~repro.arch.architecture.ArchitectureConfig` (tiles ``R``, cores per
+  tile ``C``, core height ``H`` and width ``W``, wavelengths, clock, bitwidths);
+- a device library;
+- a list of :class:`~repro.arch.instance.ArchInstance` records -- device groups with
+  symbolic count / loss-multiplier / duty scaling rules;
+- a *node* netlist (the minimal dot-product building block, used for layout-aware
+  area) and a *link* netlist (the laser-to-detector chain, used for link budget);
+- a :class:`~repro.arch.taxonomy.PTCTaxonomyEntry` describing operand ranges and
+  reconfiguration behaviour (Table I of the paper);
+- a :class:`~repro.arch.dataflow_spec.DataflowSpec` describing which hardware
+  dimensions parallelize the GEMM M/N/K loops.
+
+Template architectures (TeMPO, Clements MZI mesh, MRR weight bank, butterfly mesh,
+PCM crossbar, SCATTER, Lightening-Transformer) live in :mod:`repro.arch.templates`.
+"""
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.taxonomy import (
+    OperandRange,
+    PTCTaxonomyEntry,
+    ReconfigSpeed,
+    TABLE_I,
+    forwards_required,
+)
+
+__all__ = [
+    "Architecture",
+    "ArchitectureConfig",
+    "Activity",
+    "ArchInstance",
+    "Role",
+    "Dataflow",
+    "DataflowSpec",
+    "OperandRange",
+    "PTCTaxonomyEntry",
+    "ReconfigSpeed",
+    "TABLE_I",
+    "forwards_required",
+]

@@ -1,0 +1,94 @@
+"""Dataflow specification: how an architecture's hardware dimensions map onto GEMM loops.
+
+A GEMM ``C[M, N] = A[M, K] @ B[K, N]`` is mapped onto a photonic tensor core by
+assigning hardware dimensions (core rows/columns, cores per tile, tiles,
+wavelengths) to the M, N and K loops.  Photonic architectures add parallel
+*reduction* dimensions beyond what electronic accelerators offer -- spectral
+summation over wavelengths and analog photocurrent summation over cores -- followed
+by temporal integration and digital accumulation, the "hierarchical accumulation" of
+Fig. 4.  :class:`DataflowSpec` captures this mapping symbolically so the dataflow
+mapper can compute cycle counts for any architecture parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Union
+
+from repro.netlist.scaling import ScalingRule
+
+RuleLike = Union[ScalingRule, str, int, float]
+
+
+def _as_rule(value: RuleLike) -> ScalingRule:
+    return value if isinstance(value, ScalingRule) else ScalingRule(value)
+
+
+class Dataflow(str, Enum):
+    """Stationarity of the mapping: which operand stays resident on the PTC."""
+
+    OUTPUT_STATIONARY = "output_stationary"
+    WEIGHT_STATIONARY = "weight_stationary"
+    INPUT_STATIONARY = "input_stationary"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class DataflowSpec:
+    """Symbolic mapping of GEMM loops onto hardware parallelism dimensions.
+
+    ``m_parallel`` / ``n_parallel`` / ``k_parallel`` give the number of M / N / K
+    iterations executed concurrently per cycle, as scaling rules over the
+    architecture parameters.  ``temporal_accumulation`` is the number of consecutive
+    cycles the analog integrator accumulates before one A/D conversion (1 means the
+    ADC samples every cycle).
+    """
+
+    stationary: Dataflow = Dataflow.OUTPUT_STATIONARY
+    m_parallel: ScalingRule = field(default_factory=lambda: ScalingRule("R*H"))
+    n_parallel: ScalingRule = field(default_factory=lambda: ScalingRule("W"))
+    k_parallel: ScalingRule = field(default_factory=lambda: ScalingRule("C*LAMBDA"))
+    temporal_accumulation: int = 1
+    weight_reuse_requires_reconfig: bool = False
+
+    def __init__(
+        self,
+        stationary: Dataflow = Dataflow.OUTPUT_STATIONARY,
+        m_parallel: RuleLike = "R*H",
+        n_parallel: RuleLike = "W",
+        k_parallel: RuleLike = "C*LAMBDA",
+        temporal_accumulation: int = 1,
+        weight_reuse_requires_reconfig: bool = False,
+    ) -> None:
+        if temporal_accumulation < 1:
+            raise ValueError("temporal_accumulation must be >= 1")
+        self.stationary = stationary
+        self.m_parallel = _as_rule(m_parallel)
+        self.n_parallel = _as_rule(n_parallel)
+        self.k_parallel = _as_rule(k_parallel)
+        self.temporal_accumulation = temporal_accumulation
+        self.weight_reuse_requires_reconfig = weight_reuse_requires_reconfig
+
+    # -- evaluation ----------------------------------------------------------------
+    def parallel_dims(self, params: Mapping[str, float]) -> Mapping[str, int]:
+        """Evaluate the per-cycle parallel extents for the given parameters."""
+        return {
+            "M": max(self.m_parallel.count(params), 1),
+            "N": max(self.n_parallel.count(params), 1),
+            "K": max(self.k_parallel.count(params), 1),
+        }
+
+    def macs_per_cycle(self, params: Mapping[str, float]) -> int:
+        """Peak multiply-accumulates per cycle."""
+        dims = self.parallel_dims(params)
+        return dims["M"] * dims["N"] * dims["K"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataflowSpec({self.stationary.value}, M={self.m_parallel.expression}, "
+            f"N={self.n_parallel.expression}, K={self.k_parallel.expression}, "
+            f"T_acc={self.temporal_accumulation})"
+        )

@@ -1,0 +1,131 @@
+"""Architecture-level device instance groups with symbolic scaling rules.
+
+An :class:`ArchInstance` describes one *group* of identical device instances in the
+architecture (e.g. "all operand-A MZMs"), carrying:
+
+- the device-library name (or a composite node reference);
+- a functional :class:`Role` and an :class:`Activity` model used by the energy
+  analyzer;
+- a symbolic ``count`` scaling rule (how many copies exist, as a function of the
+  architecture parameters ``R``, ``C``, ``H``, ``W``, ``LAMBDA``, ...);
+- a ``loss_multiplier`` rule (how many times its insertion loss is traversed on the
+  worst-case optical path, e.g. ``C*W - 1`` cascaded Y-branches on a broadcast bus);
+- a ``duty`` rule (fraction of cycles the group is active, e.g. ``1/T_ACC`` for an
+  ADC that samples once per analog integration window);
+- flags deciding whether the group contributes to area and/or energy, so composite
+  "node" blocks can carry layout area without double counting their internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional, Union
+
+from repro.netlist.scaling import ScalingRule
+
+RuleLike = Union[ScalingRule, str, int, float]
+
+
+def _as_rule(value: RuleLike) -> ScalingRule:
+    return value if isinstance(value, ScalingRule) else ScalingRule(value)
+
+
+class Role(str, Enum):
+    """Functional role of a device group inside a photonic tensor core."""
+
+    LIGHT_SOURCE = "light_source"
+    COUPLING = "coupling"
+    INPUT_ENCODER = "input_encoder"     # operand A (activations)
+    WEIGHT_ENCODER = "weight_encoder"   # operand B (weights)
+    DISTRIBUTION = "distribution"       # splitters, crossings, WDM (de)mux
+    COMPUTE = "compute"                 # interference / product cells
+    DETECTION = "detection"             # photodetectors
+    READOUT = "readout"                 # TIA, integrator, ADC
+    CONTROL = "control"                 # digital control / accumulation logic
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Activity(str, Enum):
+    """How a device group consumes energy during execution."""
+
+    STATIC = "static"            # power * elapsed time (lasers, bias, tuning)
+    PER_CYCLE = "per_cycle"      # per-cycle energy on every active cycle (DAC, MZM)
+    PER_RECONFIG = "per_reconfig"  # energy only when the stationary operand is rewritten
+    PASSIVE = "passive"          # no electrical energy (passive optics)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ArchInstance:
+    """One group of identical device instances with symbolic scaling behaviour."""
+
+    name: str
+    device: str
+    role: Role
+    count: ScalingRule = field(default_factory=lambda: ScalingRule(1))
+    activity: Activity = Activity.STATIC
+    data_dependent: bool = False
+    operand: Optional[str] = None           # "A", "B" or None
+    loss_multiplier: ScalingRule = field(default_factory=lambda: ScalingRule(1))
+    duty: ScalingRule = field(default_factory=lambda: ScalingRule(1))
+    count_in_area: bool = True
+    count_in_energy: bool = True
+    is_composite: bool = False               # area comes from a node netlist floorplan
+
+    def __init__(
+        self,
+        name: str,
+        device: str,
+        role: Role,
+        count: RuleLike = 1,
+        activity: Activity = Activity.STATIC,
+        data_dependent: bool = False,
+        operand: Optional[str] = None,
+        loss_multiplier: RuleLike = 1,
+        duty: RuleLike = 1,
+        count_in_area: bool = True,
+        count_in_energy: bool = True,
+        is_composite: bool = False,
+    ) -> None:
+        if not name:
+            raise ValueError("ArchInstance name must not be empty")
+        if operand not in (None, "A", "B"):
+            raise ValueError(f"operand must be 'A', 'B' or None, got {operand!r}")
+        self.name = name
+        self.device = device
+        self.role = role
+        self.count = _as_rule(count)
+        self.activity = activity
+        self.data_dependent = data_dependent
+        self.operand = operand
+        self.loss_multiplier = _as_rule(loss_multiplier)
+        self.duty = _as_rule(duty)
+        self.count_in_area = count_in_area
+        self.count_in_energy = count_in_energy
+        self.is_composite = is_composite
+
+    # -- evaluation helpers -------------------------------------------------------
+    def instance_count(self, params: Mapping[str, float]) -> int:
+        """Number of physical copies of this group for the given parameters."""
+        return self.count.count(params)
+
+    def duty_factor(self, params: Mapping[str, float]) -> float:
+        """Fraction of cycles during which the group is active (clamped to [0, 1])."""
+        value = self.duty.evaluate(params)
+        return float(min(max(value, 0.0), 1.0))
+
+    def loss_multiplicity(self, params: Mapping[str, float]) -> float:
+        """How many times the group's insertion loss appears on the critical path."""
+        value = self.loss_multiplier.evaluate(params)
+        return float(max(value, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArchInstance({self.name!r}, device={self.device!r}, role={self.role.value}, "
+            f"count={self.count.expression!r}, activity={self.activity.value})"
+        )

@@ -1,0 +1,139 @@
+"""Photonic tensor core taxonomy (Table I of the paper).
+
+PTC designs differ in the numerical range their operands can encode and in how fast
+each operand can be reconfigured.  Range-restricted designs need multiple forward
+passes to produce a full-range output (the ``I`` latency multiplier of Section
+III-C2); slow reconfiguration (thermo-optic, PCM) adds a reprogramming penalty every
+time the stationary operand changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+
+class OperandRange(str, Enum):
+    """Numerical range a PTC operand port can encode in a single pass."""
+
+    FULL_REAL = "R"          # arbitrary real values (signed)
+    POSITIVE_REAL = "R+"     # non-negative values only (incoherent intensity encoding)
+    COMPLEX = "C"            # complex-valued (coherent subspace designs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ReconfigSpeed(str, Enum):
+    """How fast an operand can be rewritten relative to the compute clock."""
+
+    DYNAMIC = "dynamic"   # GHz-rate modulators; can change every cycle
+    STATIC = "static"     # thermo-optic / PCM; micro- to millisecond reprogramming
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def forwards_required(operand_a: OperandRange, operand_b: OperandRange) -> int:
+    """Number of forward passes needed for a full-range (signed) output.
+
+    Each positive-only operand must be split into a positive and a negative part,
+    doubling the pass count; complex (coherent subspace) operands resolve sign via a
+    differential positive/negative measurement and therefore do not multiply passes.
+    This reproduces the ``#Forwards`` column of Table I.
+    """
+    forwards = 1
+    for rng in (operand_a, operand_b):
+        if rng is OperandRange.POSITIVE_REAL:
+            forwards *= 2
+    return forwards
+
+
+@dataclass(frozen=True)
+class PTCTaxonomyEntry:
+    """One row of the PTC taxonomy: ranges, reconfiguration, and forward count."""
+
+    name: str
+    operand_a_range: OperandRange
+    operand_a_reconfig: ReconfigSpeed
+    operand_b_range: OperandRange
+    operand_b_reconfig: ReconfigSpeed
+    forward_method: str = "Direct"
+    num_forwards: int = 0
+    universal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_forwards == 0:
+            derived = forwards_required(self.operand_a_range, self.operand_b_range)
+            object.__setattr__(self, "num_forwards", derived)
+        if self.num_forwards < 1:
+            raise ValueError("num_forwards must be at least 1")
+
+    @property
+    def is_weight_static(self) -> bool:
+        """True when operand B (the weight operand) cannot change every cycle."""
+        return self.operand_b_reconfig is ReconfigSpeed.STATIC
+
+    @property
+    def is_fully_dynamic(self) -> bool:
+        """True when both operands can be reprogrammed at the compute clock rate."""
+        return (
+            self.operand_a_reconfig is ReconfigSpeed.DYNAMIC
+            and self.operand_b_reconfig is ReconfigSpeed.DYNAMIC
+        )
+
+    def supports_dynamic_matmul(self) -> bool:
+        """Whether dynamic tensor products (e.g. attention scores) map efficiently."""
+        return self.is_fully_dynamic
+
+
+#: Table I of the paper: representative PTC designs and their properties.
+TABLE_I: Dict[str, PTCTaxonomyEntry] = {
+    "mzi_array": PTCTaxonomyEntry(
+        name="MZI Array",
+        operand_a_range=OperandRange.FULL_REAL,
+        operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+        operand_b_range=OperandRange.FULL_REAL,
+        operand_b_reconfig=ReconfigSpeed.STATIC,
+        forward_method="Direct",
+        num_forwards=1,
+    ),
+    "butterfly_mesh": PTCTaxonomyEntry(
+        name="Butterfly Mesh",
+        operand_a_range=OperandRange.FULL_REAL,
+        operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+        operand_b_range=OperandRange.COMPLEX,
+        operand_b_reconfig=ReconfigSpeed.STATIC,
+        forward_method="Pos-Neg",
+        num_forwards=1,
+        universal=False,
+    ),
+    "mrr_array": PTCTaxonomyEntry(
+        name="MRR Array",
+        operand_a_range=OperandRange.POSITIVE_REAL,
+        operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+        operand_b_range=OperandRange.FULL_REAL,
+        operand_b_reconfig=ReconfigSpeed.DYNAMIC,
+        forward_method="Direct",
+        num_forwards=2,
+    ),
+    "pcm_crossbar": PTCTaxonomyEntry(
+        name="PCM Crossbar",
+        operand_a_range=OperandRange.POSITIVE_REAL,
+        operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+        operand_b_range=OperandRange.POSITIVE_REAL,
+        operand_b_reconfig=ReconfigSpeed.STATIC,
+        forward_method="Direct",
+        num_forwards=4,
+    ),
+    "tempo": PTCTaxonomyEntry(
+        name="TeMPO",
+        operand_a_range=OperandRange.FULL_REAL,
+        operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+        operand_b_range=OperandRange.FULL_REAL,
+        operand_b_reconfig=ReconfigSpeed.DYNAMIC,
+        forward_method="Direct",
+        num_forwards=1,
+    ),
+}

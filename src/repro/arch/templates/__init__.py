@@ -1,0 +1,48 @@
+"""Template photonic-tensor-core architectures built with SimPhony-Arch.
+
+Each template is a builder function returning a fully populated
+:class:`~repro.arch.architecture.Architecture`.  Templates correspond to the designs
+the paper uses in its case studies and evaluation:
+
+- :func:`~repro.arch.templates.tempo.build_tempo` -- dynamic array-style,
+  time-multiplexed dual-operand PTC (case study 1, Figs. 7, 9, 10a).
+- :func:`~repro.arch.templates.mzi_mesh.build_mzi_mesh` -- static Clements-style MZI
+  mesh with SVD weight encoding (case study 2, Fig. 11 linear layers).
+- :func:`~repro.arch.templates.scatter.build_scatter` -- weight-static, phase-shifter
+  based sparse PTC (Fig. 10b, Fig. 11 convolution layers).
+- :func:`~repro.arch.templates.lightening_transformer.build_lightening_transformer`
+  -- WDM dynamic PTC for attention workloads (Fig. 8).
+- :func:`~repro.arch.templates.mrr_bank.build_mrr_weight_bank`,
+  :func:`~repro.arch.templates.butterfly.build_butterfly_mesh`,
+  :func:`~repro.arch.templates.pcm_crossbar.build_pcm_crossbar` -- the remaining
+  Table I taxonomy rows.
+"""
+
+from repro.arch.templates.tempo import build_tempo
+from repro.arch.templates.mzi_mesh import build_mzi_mesh
+from repro.arch.templates.mrr_bank import build_mrr_weight_bank
+from repro.arch.templates.butterfly import build_butterfly_mesh
+from repro.arch.templates.pcm_crossbar import build_pcm_crossbar
+from repro.arch.templates.scatter import build_scatter
+from repro.arch.templates.lightening_transformer import build_lightening_transformer
+
+TEMPLATE_BUILDERS = {
+    "tempo": build_tempo,
+    "mzi_mesh": build_mzi_mesh,
+    "mrr_bank": build_mrr_weight_bank,
+    "butterfly": build_butterfly_mesh,
+    "pcm_crossbar": build_pcm_crossbar,
+    "scatter": build_scatter,
+    "lightening_transformer": build_lightening_transformer,
+}
+
+__all__ = [
+    "build_tempo",
+    "build_mzi_mesh",
+    "build_mrr_weight_bank",
+    "build_butterfly_mesh",
+    "build_pcm_crossbar",
+    "build_scatter",
+    "build_lightening_transformer",
+    "TEMPLATE_BUILDERS",
+]

@@ -1,0 +1,104 @@
+"""Butterfly-mesh subspace photonic tensor core.
+
+A log-depth butterfly of 2x2 coupler/phase-shifter cells implements a structured
+(subspace) linear transform with ``(H/2) * log2(H)`` cells per core instead of the
+``O(H^2)`` of a full mesh.  The transform is static (phases hold the weights) and
+complex-valued, resolved to full-range real outputs with a positive/negative
+differential measurement, hence one forward pass (Table I, "Butterfly Mesh").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.library import DeviceLibrary
+from repro.netlist.netlist import Netlist
+
+
+def _butterfly_link_netlist() -> Netlist:
+    link = Netlist(name="butterfly_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("mzm_in", "mzm", role="input_encoder")
+    link.add_instance("butterfly_cell", "mzi", role="weight_encoder")
+    link.add_instance("crossing", "crossing", role="shuffle")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain("laser", "coupler", "mzm_in", "butterfly_cell", "crossing", "pd")
+    return link
+
+
+def build_butterfly_mesh(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "butterfly",
+) -> Architecture:
+    """Build a butterfly-mesh subspace PTC."""
+    config = config or ArchitectureConfig(
+        num_tiles=1,
+        cores_per_tile=2,
+        core_height=8,
+        core_width=8,
+        num_wavelengths=1,
+        frequency_ghz=5.0,
+        name=name,
+    )
+    library = library or DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+
+    instances = [
+        ArchInstance("laser", "laser", Role.LIGHT_SOURCE, count="LAMBDA",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        ArchInstance("dac_in", "dac", Role.INPUT_ENCODER, count="R*C*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mzm_in", "mzm", Role.INPUT_ENCODER, count="R*C*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        # (H/2) * log2(H) butterfly cells per core; the signal traverses log2(H) stages.
+        ArchInstance(
+            "butterfly_cell", "mzi", Role.WEIGHT_ENCODER,
+            count="R*C*(H/2)*ceil(log2(max(H, 2)))",
+            activity=Activity.STATIC, data_dependent=True, operand="B",
+            loss_multiplier="ceil(log2(max(H, 2)))",
+        ),
+        ArchInstance("crossing", "crossing", Role.DISTRIBUTION,
+                     count="R*C*H*ceil(log2(max(H, 2)))",
+                     activity=Activity.PASSIVE,
+                     loss_multiplier="ceil(log2(max(H, 2)))"),
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*H",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*C*H",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*C*H",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.WEIGHT_STATIONARY,
+        m_parallel="H",
+        n_parallel="R*C*LAMBDA",
+        k_parallel="H",
+        temporal_accumulation=config.temporal_accumulation,
+        weight_reuse_requires_reconfig=True,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_butterfly_link_netlist(),
+        node_netlist=None,
+        taxonomy=TABLE_I["butterfly_mesh"],
+        dataflow=dataflow,
+    )

@@ -1,0 +1,162 @@
+"""Lightening-Transformer (LT): dynamically-operated WDM photonic tensor core.
+
+The reference design for the paper's transformer validation (Fig. 8): 4 tiles, 2
+cores per tile, 12x12 dot-product nodes per core, 12 wavelengths at 5 GHz.  Both
+operands are encoded at line rate by high-speed modulators, so dynamic matmuls
+(attention scores, ``QK^T`` and ``AV``) map directly without weight reconfiguration.
+
+Structurally it is an array-style dual-operand PTC like TeMPO, but with deeper WDM
+(a micro-comb source plus per-wavelength encoders) and a larger readout array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.electrical import ADC, DAC
+from repro.devices.library import DeviceLibrary
+from repro.devices.photonic import MachZehnderModulator
+from repro.netlist.netlist import Netlist
+from repro.arch.templates.tempo import tempo_node_netlist
+
+
+def _lt_library(config: ArchitectureConfig) -> DeviceLibrary:
+    """Device library with LT's energy-optimized converters and compact modulators."""
+    library = DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+    library.register(
+        DAC(
+            bits=config.input_bits,
+            sampling_rate_ghz=config.frequency_ghz,
+            fom_fj_per_conv_step=4.0,
+            width_um=60.0,
+            height_um=60.0,
+            name="dac",
+        )
+    )
+    library.register(
+        ADC(
+            bits=config.output_bits,
+            sampling_rate_ghz=config.frequency_ghz,
+            fom_fj_per_conv_step=20.0,
+            width_um=120.0,
+            height_um=90.0,
+            name="adc",
+        )
+    )
+    library.register(
+        MachZehnderModulator(
+            bandwidth_ghz=max(config.frequency_ghz, 20.0),
+            insertion_loss_db=1.2,
+            extinction_ratio_db=9.0,
+            drive_energy_fj_per_symbol=30.0,
+            static_power_mw=0.3,
+            width_um=80.0,
+            height_um=12.0,
+            name="mzm",
+        )
+    )
+    return library
+
+
+def _lt_link_netlist() -> Netlist:
+    link = Netlist(name="lt_link")
+    link.add_instance("comb", "microcomb", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("wdm_mux", "wdm_mux", role="mux")
+    link.add_instance("mzm_a", "mzm", role="input_encoder")
+    link.add_instance("y_branch_a", "y_branch", role="broadcast_a")
+    link.add_instance("crossing", "crossing", role="routing")
+    link.add_instance("mzm_b", "mzm", role="weight_encoder")
+    link.add_instance("y_branch_b", "y_branch", role="broadcast_b")
+    link.add_instance("node", "directional_coupler", role="node_combiner")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain(
+        "comb", "coupler", "wdm_mux", "mzm_a", "y_branch_a", "crossing",
+        "mzm_b", "y_branch_b", "node", "pd",
+    )
+    return link
+
+
+def build_lightening_transformer(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "lightening_transformer",
+) -> Architecture:
+    """Build the Lightening-Transformer architecture (default: the Fig. 8 setting)."""
+    config = config or ArchitectureConfig(
+        num_tiles=4,
+        cores_per_tile=2,
+        core_height=12,
+        core_width=12,
+        num_wavelengths=12,
+        frequency_ghz=5.0,
+        temporal_accumulation=1,
+        name=name,
+    )
+    library = library or _lt_library(config)
+
+    instances = [
+        ArchInstance("comb", "microcomb", Role.LIGHT_SOURCE, count=1,
+                     activity=Activity.STATIC),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        ArchInstance("wdm_mux", "wdm_mux", Role.DISTRIBUTION, count="R",
+                     activity=Activity.PASSIVE),
+        ArchInstance("dac_a", "dac", Role.INPUT_ENCODER, count="R*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mzm_a", "mzm", Role.INPUT_ENCODER, count="R*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("dac_b", "dac", Role.WEIGHT_ENCODER, count="R*C*W*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="B"),
+        ArchInstance("mzm_b", "mzm", Role.WEIGHT_ENCODER, count="R*C*W*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="B"),
+        ArchInstance("y_branch_a", "y_branch", Role.DISTRIBUTION,
+                     count="R*H*LAMBDA*(C*W-1)", activity=Activity.PASSIVE,
+                     loss_multiplier="ceil(log2(max(C*W, 2)))"),
+        ArchInstance("y_branch_b", "y_branch", Role.DISTRIBUTION,
+                     count="R*C*W*LAMBDA*(H-1)", activity=Activity.PASSIVE,
+                     loss_multiplier="ceil(log2(max(H, 2)))"),
+        ArchInstance("crossing", "crossing", Role.DISTRIBUTION, count="R*C*H*W",
+                     activity=Activity.PASSIVE, loss_multiplier="max(W-1, 1)"),
+        ArchInstance("node", "directional_coupler", Role.COMPUTE, count="R*C*H*W",
+                     activity=Activity.PASSIVE, is_composite=True,
+                     count_in_energy=False),
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*H*W",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("integrator", "integrator", Role.READOUT, count="R*H*W",
+                     activity=Activity.STATIC),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*H*W",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*H*W",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.OUTPUT_STATIONARY,
+        m_parallel="R*H",
+        n_parallel="W",
+        k_parallel="C*LAMBDA",
+        temporal_accumulation=config.temporal_accumulation,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_lt_link_netlist(),
+        node_netlist=tempo_node_netlist(),
+        taxonomy=TABLE_I["tempo"],
+        dataflow=dataflow,
+    )

@@ -1,0 +1,103 @@
+"""Micro-ring weight bank (broadcast-and-weight) photonic tensor core.
+
+Incoherent WDM architecture: each input is modulated onto its own wavelength,
+broadcast to every output row, weighted by a tuned micro-ring per (row, wavelength)
+pair, and summed on a balanced photodetector.  Inputs are intensity-encoded and
+therefore positive-only, so a full-range computation takes two forward passes
+(Table I, "MRR Array").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.library import DeviceLibrary
+from repro.netlist.netlist import Netlist
+
+
+def _mrr_link_netlist() -> Netlist:
+    link = Netlist(name="mrr_bank_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("mrm_in", "mrm", role="input_encoder")
+    link.add_instance("wdm_mux", "wdm_mux", role="mux")
+    link.add_instance("y_branch", "y_branch", role="broadcast")
+    link.add_instance("mrr_weight", "mrr", role="weight_encoder")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain("laser", "coupler", "mrm_in", "wdm_mux", "y_branch", "mrr_weight", "pd")
+    return link
+
+
+def build_mrr_weight_bank(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "mrr_bank",
+) -> Architecture:
+    """Build a broadcast-and-weight MRR weight-bank accelerator."""
+    config = config or ArchitectureConfig(
+        num_tiles=1,
+        cores_per_tile=2,
+        core_height=4,
+        core_width=4,
+        num_wavelengths=4,
+        frequency_ghz=5.0,
+        name=name,
+    )
+    library = library or DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+
+    instances = [
+        ArchInstance("laser", "laser", Role.LIGHT_SOURCE, count="LAMBDA",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        # One input micro-ring modulator per wavelength channel per core.
+        ArchInstance("dac_in", "dac", Role.INPUT_ENCODER, count="R*C*W",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mrm_in", "mrm", Role.INPUT_ENCODER, count="R*C*W",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("wdm_mux", "wdm_mux", Role.DISTRIBUTION, count="R*C",
+                     activity=Activity.PASSIVE),
+        ArchInstance("y_branch", "y_branch", Role.DISTRIBUTION, count="R*C*(H-1)",
+                     activity=Activity.PASSIVE, loss_multiplier="max(H-1, 1)"),
+        # The weight bank: one tuned micro-ring per (output row, input wavelength).
+        ArchInstance("mrr_weight", "mrr", Role.WEIGHT_ENCODER, count="R*C*H*W",
+                     activity=Activity.STATIC, data_dependent=True, operand="B",
+                     loss_multiplier="max(W-1, 1)"),
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*H",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*C*H",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*C*H",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.WEIGHT_STATIONARY,
+        m_parallel="H",
+        n_parallel="R*C",
+        k_parallel="W",
+        temporal_accumulation=config.temporal_accumulation,
+        weight_reuse_requires_reconfig=True,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_mrr_link_netlist(),
+        node_netlist=None,
+        taxonomy=TABLE_I["mrr_array"],
+        dataflow=dataflow,
+    )

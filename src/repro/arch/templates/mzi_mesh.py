@@ -1,0 +1,127 @@
+"""Clements-style MZI mesh: static, weight-stationary universal PTC (case study 2).
+
+The weight matrix is encoded by singular value decomposition ``W = U S V``; the
+unitaries ``U`` and ``V`` map to triangular/rectangular meshes of 2x2 MZIs and the
+diagonal ``S`` to a column of attenuating MZIs.  Following the paper's scaling
+rules, node-U and node-V are replicated ``R*C*H*(H-1)/2`` times each and node-S
+``R*C*min(H, W)`` times -- a topology that array-based simulators cannot express.
+
+Thermo-optic phase shifters hold the weights, so the PTC is weight-stationary with a
+large (~10 us) reconfiguration penalty whenever a new weight block is loaded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.library import DeviceLibrary
+from repro.netlist.netlist import Netlist
+
+
+def mzi_node_netlist() -> Netlist:
+    """Single-MZI building block used for layout-aware mesh area estimation."""
+    node = Netlist(name="mzi_node")
+    node.add_instance("i0", "mzi", role="unitary_cell")
+    return node
+
+
+def _mzi_link_netlist() -> Netlist:
+    """Laser -> input modulator -> U mesh column -> S -> V mesh column -> detector."""
+    link = Netlist(name="mzi_mesh_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("mmi", "mmi", role="fanout")
+    link.add_instance("dac_mzm", "mzm", role="input_encoder")
+    link.add_instance("mzi_v", "mzi", role="unitary_v")
+    link.add_instance("mzi_sigma", "mzi", role="diagonal")
+    link.add_instance("mzi_u", "mzi", role="unitary_u")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain("laser", "coupler", "mmi", "dac_mzm", "mzi_v", "mzi_sigma", "mzi_u", "pd")
+    return link
+
+
+def build_mzi_mesh(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "mzi_mesh",
+) -> Architecture:
+    """Build a multi-core Clements MZI mesh accelerator."""
+    config = config or ArchitectureConfig(
+        num_tiles=2,
+        cores_per_tile=2,
+        core_height=4,
+        core_width=4,
+        num_wavelengths=1,
+        frequency_ghz=5.0,
+        name=name,
+    )
+    library = library or DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+
+    instances = [
+        ArchInstance(
+            "laser", "laser", Role.LIGHT_SOURCE,
+            count="LAMBDA", activity=Activity.STATIC, count_in_area=False,
+        ),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        ArchInstance("mmi", "mmi", Role.DISTRIBUTION, count="R*C",
+                     activity=Activity.PASSIVE, loss_multiplier="ceil(log2(max(W,2)))"),
+        # Input vector encoders: one per core input port.
+        ArchInstance("dac_in", "dac", Role.INPUT_ENCODER, count="R*C*W*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mzm_in", "mzm", Role.INPUT_ENCODER, count="R*C*W*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        # The mesh itself: U, Sigma, V MZIs holding the (static) weights.
+        ArchInstance(
+            "mzi_u", "mzi", Role.WEIGHT_ENCODER, count="R*C*H*(H-1)/2",
+            activity=Activity.STATIC, data_dependent=True, operand="B",
+            loss_multiplier="H",
+        ),
+        ArchInstance(
+            "mzi_sigma", "mzi", Role.WEIGHT_ENCODER, count="R*C*min(H, W)",
+            activity=Activity.STATIC, data_dependent=True, operand="B",
+        ),
+        ArchInstance(
+            "mzi_v", "mzi", Role.WEIGHT_ENCODER, count="R*C*W*(W-1)/2",
+            activity=Activity.STATIC, data_dependent=True, operand="B",
+            loss_multiplier="W",
+        ),
+        # Readout: one detector chain per core output port.
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*H",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*C*H",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*C*H",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.WEIGHT_STATIONARY,
+        m_parallel="H",
+        n_parallel="R*C*LAMBDA",
+        k_parallel="W",
+        temporal_accumulation=config.temporal_accumulation,
+        weight_reuse_requires_reconfig=True,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_mzi_link_netlist(),
+        node_netlist=mzi_node_netlist(),
+        taxonomy=TABLE_I["mzi_array"],
+        dataflow=dataflow,
+    )

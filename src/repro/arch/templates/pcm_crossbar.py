@@ -1,0 +1,102 @@
+"""Non-volatile PCM crossbar photonic tensor core.
+
+Phase-change-material cells on waveguide crossings hold the weights with zero static
+power, but both operands are intensity (positive-only) encoded, so a full-range
+computation needs four forward passes, and rewriting a weight block costs hundreds
+of nanoseconds per cell write (Table I, "PCM Crossbar").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.library import DeviceLibrary
+from repro.netlist.netlist import Netlist
+
+
+def _pcm_link_netlist() -> Netlist:
+    link = Netlist(name="pcm_crossbar_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("mrm_in", "mrm", role="input_encoder")
+    link.add_instance("y_branch", "y_branch", role="broadcast")
+    link.add_instance("pcm_cell", "pcm", role="weight_encoder")
+    link.add_instance("crossing", "crossing", role="crossbar")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain("laser", "coupler", "mrm_in", "y_branch", "pcm_cell", "crossing", "pd")
+    return link
+
+
+def build_pcm_crossbar(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "pcm_crossbar",
+) -> Architecture:
+    """Build a PCM-crossbar in-memory photonic computing accelerator."""
+    config = config or ArchitectureConfig(
+        num_tiles=1,
+        cores_per_tile=1,
+        core_height=8,
+        core_width=8,
+        num_wavelengths=4,
+        frequency_ghz=2.0,
+        name=name,
+    )
+    library = library or DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+
+    instances = [
+        ArchInstance("laser", "laser", Role.LIGHT_SOURCE, count="LAMBDA",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        ArchInstance("dac_in", "dac", Role.INPUT_ENCODER, count="R*C*H",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mrm_in", "mrm", Role.INPUT_ENCODER, count="R*C*H",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("y_branch", "y_branch", Role.DISTRIBUTION, count="R*C*H*(W-1)",
+                     activity=Activity.PASSIVE, loss_multiplier="max(W-1, 1)"),
+        # Non-volatile weights: zero hold power, energetic and slow writes.
+        ArchInstance(
+            "pcm_cell", "pcm", Role.WEIGHT_ENCODER, count="R*C*H*W",
+            activity=Activity.PER_RECONFIG, data_dependent=False, operand="B",
+        ),
+        ArchInstance("crossing", "crossing", Role.DISTRIBUTION, count="R*C*H*W",
+                     activity=Activity.PASSIVE, loss_multiplier="max(H-1, 1)"),
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*W",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*C*W",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*C*W",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.WEIGHT_STATIONARY,
+        m_parallel="W",
+        n_parallel="R*C*LAMBDA",
+        k_parallel="H",
+        temporal_accumulation=config.temporal_accumulation,
+        weight_reuse_requires_reconfig=True,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_pcm_link_netlist(),
+        node_netlist=None,
+        taxonomy=TABLE_I["pcm_crossbar"],
+        dataflow=dataflow,
+    )

@@ -1,0 +1,132 @@
+"""SCATTER: weight-static, phase-shifter-based sparse photonic tensor core.
+
+SCATTER (the paper's Fig. 10b / Fig. 11 convolution engine) holds weights on
+thermo-optic phase shifters whose dissipation depends on the encoded weight value,
+which is exactly the behaviour the data-aware energy analysis targets: pruned
+(zero) weights can be power-gated, and small-magnitude weights dissipate less than
+the nominal P_pi worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.library import DeviceLibrary
+from repro.devices.photonic import ThermoOpticPhaseShifter
+from repro.netlist.netlist import Netlist
+
+
+def scatter_node_netlist() -> Netlist:
+    """SCATTER weight cell: a tap, a weight phase shifter and a combiner."""
+    node = Netlist(name="scatter_node")
+    node.add_instance("i0", "y_branch", role="tap")
+    node.add_instance("i1", "phase_shifter", role="weight")
+    node.add_instance("i2", "directional_coupler", role="combiner")
+    node.chain("i0", "i1", "i2")
+    return node
+
+
+def _scatter_link_netlist() -> Netlist:
+    link = Netlist(name="scatter_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("mzm_in", "mzm", role="input_encoder")
+    link.add_instance("y_branch", "y_branch", role="broadcast")
+    link.add_instance("phase_shifter", "phase_shifter", role="weight_encoder")
+    link.add_instance("crossing", "crossing", role="routing")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain("laser", "coupler", "mzm_in", "y_branch", "phase_shifter", "crossing", "pd")
+    return link
+
+
+def build_scatter(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    p_pi_mw: float = 20.0,
+    name: str = "scatter",
+) -> Architecture:
+    """Build the SCATTER weight-static PTC.
+
+    ``p_pi_mw`` sets the full-swing phase-shifter power used both for the nominal
+    (data-unaware) estimate and as the scale of the data-dependent response.
+    """
+    config = config or ArchitectureConfig(
+        num_tiles=2,
+        cores_per_tile=2,
+        core_height=4,
+        core_width=4,
+        num_wavelengths=1,
+        frequency_ghz=5.0,
+        name=name,
+    )
+    library = library or DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+    # SCATTER's in-situ light redistribution avoids full thermal re-programming, so
+    # weight updates settle in ~100 ns rather than the ~10 us of a bare TO heater.
+    library.register(
+        ThermoOpticPhaseShifter(
+            p_pi_mw=p_pi_mw, reconfig_time_ns=100.0, name="phase_shifter"
+        )
+    )
+
+    instances = [
+        ArchInstance("laser", "laser", Role.LIGHT_SOURCE, count="LAMBDA",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("coupler", "coupler", Role.COUPLING, count="LAMBDA",
+                     activity=Activity.PASSIVE),
+        # Dynamic input (activation) encoders: one per core input row.
+        ArchInstance("dac_in", "dac", Role.INPUT_ENCODER, count="R*C*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        ArchInstance("mzm_in", "mzm", Role.INPUT_ENCODER, count="R*C*H*LAMBDA",
+                     activity=Activity.PER_CYCLE, operand="A"),
+        # Broadcast optics.
+        ArchInstance("y_branch", "y_branch", Role.DISTRIBUTION,
+                     count="R*C*H*(W-1)", activity=Activity.PASSIVE,
+                     loss_multiplier="max(W-1, 1)"),
+        ArchInstance("crossing", "crossing", Role.DISTRIBUTION, count="R*C*H*W",
+                     activity=Activity.PASSIVE, loss_multiplier="max(H-1, 1)"),
+        # The weight fabric: one thermo-optic phase shifter per weight element.
+        # Power is data dependent (and zero for pruned weights: power gating).
+        ArchInstance(
+            "phase_shifter", "phase_shifter", Role.WEIGHT_ENCODER,
+            count="R*C*H*W", activity=Activity.STATIC,
+            data_dependent=True, operand="B",
+        ),
+        # Readout per output column.
+        ArchInstance("pd", "pd", Role.DETECTION, count="R*C*W",
+                     activity=Activity.STATIC, count_in_area=False),
+        ArchInstance("tia", "tia", Role.READOUT, count="R*C*W",
+                     activity=Activity.STATIC),
+        ArchInstance("adc", "adc", Role.READOUT, count="R*C*W",
+                     activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)"),
+        ArchInstance("digital_control", "digital_control", Role.CONTROL, count="R",
+                     activity=Activity.STATIC, count_in_area=False),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.WEIGHT_STATIONARY,
+        m_parallel="R*C*W",
+        n_parallel="LAMBDA",
+        k_parallel="H",
+        temporal_accumulation=config.temporal_accumulation,
+        weight_reuse_requires_reconfig=True,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_scatter_link_netlist(),
+        node_netlist=scatter_node_netlist(),
+        taxonomy=TABLE_I["mzi_array"],
+        dataflow=dataflow,
+    )

@@ -1,0 +1,244 @@
+"""TeMPO: dynamic array-style, time-multiplexed dual-operand photonic tensor core.
+
+Case study 1 of the paper (Fig. 3a).  The architecture has ``R`` tiles of ``C``
+cores, each core an ``H x W`` array of dot-product nodes:
+
+- operand A (activations) is encoded by a DAC + compact slow-light MZM per core row
+  and *broadcast* across the C cores and W columns of a tile, so the A encoders
+  scale as ``R*H*LAMBDA``;
+- operand B is encoded per core column (``R*C*W*LAMBDA``);
+- every node multiplies its A and B inputs per wavelength and detects the product on
+  a balanced photodetector pair; photocurrents are summed across the C cores of a
+  tile (analog parallel reduction), integrated over time (analog sequential
+  reduction) and digitized once per integration window, so integrators / TIAs / ADCs
+  scale as ``R*H*W`` with an ADC duty cycle of ``1/T_ACC``.
+
+The node netlist (two input taps, a 2x2 combiner, a balanced PD pair) is the Fig. 6
+layout example; its floorplanned area is what separates layout-aware from
+layout-unaware area in Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.arch.dataflow_spec import Dataflow, DataflowSpec
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.arch.taxonomy import TABLE_I
+from repro.devices.base import Device, DeviceCategory, DeviceSpec
+from repro.devices.library import DeviceLibrary
+from repro.devices.photonic import MachZehnderModulator
+from repro.netlist.netlist import Netlist
+
+
+def _tempo_library(config: ArchitectureConfig) -> DeviceLibrary:
+    """Default SimPhony-DevLib specialised with TeMPO's compact slow-light devices."""
+    library = DeviceLibrary.default(
+        adc_bits=config.output_bits,
+        dac_bits=config.input_bits,
+        frequency_ghz=config.frequency_ghz,
+        num_wavelengths=config.num_wavelengths,
+    )
+    # Compact slow-light electro-optic MZM: short (53 um) but slightly lossier.
+    library.register(
+        MachZehnderModulator(
+            bandwidth_ghz=max(config.frequency_ghz, 10.0),
+            insertion_loss_db=1.5,
+            extinction_ratio_db=8.0,
+            drive_energy_fj_per_symbol=50.0,
+            static_power_mw=0.5,
+            width_um=53.0,
+            height_um=10.0,
+            name="mzm",
+        )
+    )
+    # Per-node static bias phase shifter (calibration), low holding power.
+    library.register(
+        Device(
+            DeviceSpec(
+                name="ps_bias",
+                category=DeviceCategory.PHOTONIC,
+                width_um=20.0,
+                height_um=10.0,
+                insertion_loss_db=0.1,
+                static_power_mw=0.5,
+                description="node bias phase shifter (calibration)",
+            )
+        )
+    )
+    return library
+
+
+def tempo_node_netlist() -> Netlist:
+    """The TeMPO dot-product node: two input taps, a 2x2 combiner, a balanced PD pair.
+
+    This is the minimal building block of Fig. 2(a)/Fig. 6, used for layout-aware
+    node area estimation.
+    """
+    node = Netlist(name="tempo_node")
+    node.add_instance("i0", "y_branch", role="tap_a")
+    node.add_instance("i1", "y_branch", role="tap_b")
+    node.add_instance("i2", "directional_coupler", role="combiner")
+    node.add_instance("i3", "pd", role="detector_p")
+    node.add_instance("i4", "pd", role="detector_n")
+    node.connect("i0", "i2")
+    node.connect("i1", "i2")
+    node.connect("i2", "i3")
+    node.connect("i2", "i4")
+    return node
+
+
+def _tempo_link_netlist() -> Netlist:
+    """Laser-to-detector chain used for the link-budget critical path (Fig. 3a)."""
+    link = Netlist(name="tempo_link")
+    link.add_instance("laser", "laser", role="source")
+    link.add_instance("coupler", "coupler", role="coupling")
+    link.add_instance("wdm_mux", "wdm_mux", role="mux")
+    link.add_instance("mzm_a", "mzm", role="input_encoder")
+    link.add_instance("y_branch_a", "y_branch", role="broadcast_a")
+    link.add_instance("crossing", "crossing", role="routing")
+    link.add_instance("mzm_b", "mzm", role="weight_encoder")
+    link.add_instance("y_branch_b", "y_branch", role="broadcast_b")
+    link.add_instance("node", "directional_coupler", role="node_combiner")
+    link.add_instance("pd", "pd", role="detector")
+    link.chain(
+        "laser",
+        "coupler",
+        "wdm_mux",
+        "mzm_a",
+        "y_branch_a",
+        "crossing",
+        "mzm_b",
+        "y_branch_b",
+        "node",
+        "pd",
+    )
+    return link
+
+
+def build_tempo(
+    config: Optional[ArchitectureConfig] = None,
+    library: Optional[DeviceLibrary] = None,
+    name: str = "tempo",
+) -> Architecture:
+    """Build the TeMPO architecture for the given configuration.
+
+    The default configuration matches the paper's validation setup for Fig. 7:
+    4x4 cores, 2 tiles, 2 cores per tile, 5 GHz, 8-bit converters.
+    """
+    config = config or ArchitectureConfig(
+        num_tiles=2,
+        cores_per_tile=2,
+        core_height=4,
+        core_width=4,
+        num_wavelengths=1,
+        frequency_ghz=5.0,
+        temporal_accumulation=1,
+        name=name,
+    )
+    library = library or _tempo_library(config)
+
+    instances = [
+        ArchInstance(
+            "laser", "laser", Role.LIGHT_SOURCE,
+            count="LAMBDA", activity=Activity.STATIC, count_in_area=False,
+        ),
+        ArchInstance(
+            "coupler", "coupler", Role.COUPLING,
+            count="LAMBDA", activity=Activity.PASSIVE,
+        ),
+        ArchInstance(
+            "wdm_mux", "wdm_mux", Role.DISTRIBUTION,
+            count="R", activity=Activity.PASSIVE,
+        ),
+        # Operand A (activation) encoders: shared across C cores and W columns.
+        ArchInstance(
+            "dac_a", "dac", Role.INPUT_ENCODER,
+            count="R*H*LAMBDA", activity=Activity.PER_CYCLE, operand="A",
+        ),
+        ArchInstance(
+            "mzm_a", "mzm", Role.INPUT_ENCODER,
+            count="R*H*LAMBDA", activity=Activity.PER_CYCLE, operand="A",
+        ),
+        # Operand B encoders: one per core column (dynamic weights / second matrix).
+        ArchInstance(
+            "dac_b", "dac", Role.WEIGHT_ENCODER,
+            count="R*C*W*LAMBDA", activity=Activity.PER_CYCLE, operand="B",
+        ),
+        ArchInstance(
+            "mzm_b", "mzm", Role.WEIGHT_ENCODER,
+            count="R*C*W*LAMBDA", activity=Activity.PER_CYCLE, operand="B",
+        ),
+        # Broadcast / routing optics. The worst-case path cascades (C*W - 1)
+        # operand-A splitters and (H - 1) operand-B splitters.
+        ArchInstance(
+            "y_branch_a", "y_branch", Role.DISTRIBUTION,
+            count="R*H*LAMBDA*(C*W-1)", activity=Activity.PASSIVE,
+            loss_multiplier="max(C*W-1, 1)",
+        ),
+        ArchInstance(
+            "y_branch_b", "y_branch", Role.DISTRIBUTION,
+            count="R*C*W*LAMBDA*(H-1)", activity=Activity.PASSIVE,
+            loss_multiplier="max(H-1, 1)",
+        ),
+        ArchInstance(
+            "crossing", "crossing", Role.DISTRIBUTION,
+            count="R*C*H*W", activity=Activity.PASSIVE,
+            loss_multiplier="max(W-1, 1)",
+        ),
+        ArchInstance(
+            "mmi", "mmi", Role.DISTRIBUTION,
+            count="R*C*LAMBDA", activity=Activity.PASSIVE,
+        ),
+        # The dot-product node photonics: composite block, area from the node netlist.
+        ArchInstance(
+            "node", "directional_coupler", Role.COMPUTE,
+            count="R*C*H*W", activity=Activity.PASSIVE,
+            is_composite=True, count_in_energy=False,
+        ),
+        ArchInstance(
+            "ps_bias", "ps_bias", Role.COMPUTE,
+            count="R*C*H*W", activity=Activity.STATIC, count_in_area=False,
+        ),
+        ArchInstance(
+            "pd", "pd", Role.DETECTION,
+            count="R*C*H*W", activity=Activity.STATIC, count_in_area=False,
+        ),
+        # Readout chain shared across the C cores of a tile (analog summation).
+        ArchInstance(
+            "integrator", "integrator", Role.READOUT,
+            count="R*H*W", activity=Activity.STATIC,
+        ),
+        ArchInstance(
+            "tia", "tia", Role.READOUT,
+            count="R*H*W", activity=Activity.STATIC,
+        ),
+        ArchInstance(
+            "adc", "adc", Role.READOUT,
+            count="R*H*W", activity=Activity.PER_CYCLE, duty="1/max(T_ACC, 1)",
+        ),
+        ArchInstance(
+            "digital_control", "digital_control", Role.CONTROL,
+            count="R", activity=Activity.STATIC, count_in_area=False,
+        ),
+    ]
+
+    dataflow = DataflowSpec(
+        stationary=Dataflow.OUTPUT_STATIONARY,
+        m_parallel="R*H",
+        n_parallel="W",
+        k_parallel="C*LAMBDA",
+        temporal_accumulation=config.temporal_accumulation,
+    )
+
+    return Architecture(
+        name=name,
+        config=config,
+        library=library,
+        instances=instances,
+        link_netlist=_tempo_link_netlist(),
+        node_netlist=tempo_node_netlist(),
+        taxonomy=TABLE_I["tempo"],
+        dataflow=dataflow,
+    )

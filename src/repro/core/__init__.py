@@ -1,0 +1,36 @@
+"""SimPhony-Sim: the end-to-end simulation flow and its analyzers.
+
+The :class:`~repro.core.simulator.Simulator` drives the flow of the paper's Fig. 1:
+workload extraction -> dataflow mapping -> latency analysis -> link-budget analysis
+-> bandwidth-adaptive memory modeling -> data-aware energy analysis -> layout-aware
+area analysis, producing a :class:`~repro.core.simulator.SimulationResult` with
+per-component breakdowns.
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import Simulator, SimulationResult, LayerResult
+from repro.core.energy import EnergyAnalyzer, EnergyReport
+from repro.core.latency import LatencyAnalyzer, LatencyReport
+from repro.core.area import AreaAnalyzer, AreaReport
+from repro.core.link_budget import LinkBudgetAnalyzer, LinkBudgetReport
+from repro.core.memory_analyzer import MemoryAnalyzer, MemoryReport
+from repro.core.snr import SNRAnalyzer, SNRReport
+
+__all__ = [
+    "SNRAnalyzer",
+    "SNRReport",
+    "SimulationConfig",
+    "Simulator",
+    "SimulationResult",
+    "LayerResult",
+    "EnergyAnalyzer",
+    "EnergyReport",
+    "LatencyAnalyzer",
+    "LatencyReport",
+    "AreaAnalyzer",
+    "AreaReport",
+    "LinkBudgetAnalyzer",
+    "LinkBudgetReport",
+    "MemoryAnalyzer",
+    "MemoryReport",
+]

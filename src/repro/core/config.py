@@ -1,0 +1,45 @@
+"""Simulation configuration shared by all analyzers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs controlling the SimPhony-Sim analyses.
+
+    - ``data_aware``: evaluate data-dependent device power on the actual workload
+      operand values (the paper's data-aware mode) instead of nominal worst case;
+    - ``use_layout_aware_area``: estimate composite node area with the
+      signal-flow-aware floorplanner instead of the footprint sum;
+    - ``include_memory``: add on-chip buffer area/energy/power to the reports;
+    - ``memory_tech_nm`` / ``glb_buswidth_bits``: CACTI-substitute parameters
+      (the paper uses CACTI at 45 nm);
+    - ``device_spacing_um`` / ``node_boundary_um``: floorplanner spacing rules;
+    - ``value_sample_limit``: data-aware power averages subsample operand tensors
+      larger than this many elements (deterministic) to bound runtime.
+    """
+
+    data_aware: bool = True
+    use_layout_aware_area: bool = True
+    include_memory: bool = True
+    memory_tech_nm: float = 45.0
+    glb_buswidth_bits: int = 256
+    hbm_energy_pj_per_bit: float = 3.9
+    device_spacing_um: float = 5.0
+    node_boundary_um: float = 10.0
+    value_sample_limit: int = 65536
+    include_idle_gating: bool = True
+
+    def __post_init__(self) -> None:
+        if self.memory_tech_nm <= 0:
+            raise ValueError("memory_tech_nm must be positive")
+        if self.glb_buswidth_bits <= 0:
+            raise ValueError("glb_buswidth_bits must be positive")
+        if self.hbm_energy_pj_per_bit < 0:
+            raise ValueError("hbm_energy_pj_per_bit must be non-negative")
+        if self.value_sample_limit < 1:
+            raise ValueError("value_sample_limit must be positive")
+        if self.device_spacing_um < 0 or self.node_boundary_um < 0:
+            raise ValueError("spacings must be non-negative")

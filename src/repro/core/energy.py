@@ -1,0 +1,203 @@
+"""Data-dependent, device-response-aware energy analysis.
+
+For each architecture instance group the analyzer accumulates energy according to
+its activity model:
+
+- ``STATIC`` devices burn their (possibly data-dependent) power for the layer's
+  *compute* time (``I * tau_comp``); reconfiguration stalls are charged to latency,
+  not to heater/laser energy, matching the reference breakdowns;
+- ``PER_CYCLE`` devices (converters, dynamic modulators) pay a per-cycle energy on
+  every *active* cycle, where idle lanes (spatial under-utilization, pruned weights)
+  are power-gated in data-aware mode;
+- ``PER_RECONFIG`` devices (PCM cells) only pay energy when the stationary operand
+  is rewritten;
+- ``PASSIVE`` optics consume nothing.
+
+Laser energy comes from the link-budget report (Eq. 1) rather than a fixed device
+power, and data movement ("DM") from the memory analyzer.  In data-aware mode the
+power of data-dependent devices (phase shifters, ring tuners) is the response-model
+average over the *actual* workload operand values -- the behaviour highlighted in
+Figs. 5 and 10(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.architecture import Architecture
+from repro.arch.instance import Activity, ArchInstance, Role
+from repro.core.config import SimulationConfig
+from repro.core.link_budget import LinkBudgetReport
+from repro.core.report import component_label
+from repro.dataflow.mapping import Mapping
+
+
+@dataclass
+class EnergyReport:
+    """Per-component energy breakdown (pJ) for one mapped workload."""
+
+    breakdown_pj: Dict[str, float] = field(default_factory=dict)
+    total_time_ns: float = 0.0
+    data_aware: bool = True
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.breakdown_pj.values())
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj / 1e6
+
+    @property
+    def compute_pj(self) -> float:
+        return self.total_pj - self.breakdown_pj.get("DM", 0.0)
+
+    @property
+    def average_power_mw(self) -> Dict[str, float]:
+        """Breakdown converted to average power over the execution time."""
+        if self.total_time_ns <= 0:
+            return {key: 0.0 for key in self.breakdown_pj}
+        return {key: value / self.total_time_ns for key, value in self.breakdown_pj.items()}
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(self.average_power_mw.values())
+
+    def component(self, label: str) -> float:
+        return self.breakdown_pj.get(label, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EnergyReport(total={self.total_pj:.1f} pJ over {self.total_time_ns:.1f} ns)"
+
+
+class EnergyAnalyzer:
+    """Accumulates data-aware device and data-movement energy for one mapping."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+
+    # -- operand value handling -----------------------------------------------------
+    def _operand_values(self, mapping: Mapping, operand: Optional[str]) -> Optional[np.ndarray]:
+        """Normalized operand values routed to a device group (pruned weights excluded).
+
+        Pruned weight cells are power-gated rather than parked at the zero-weight
+        setting, so they are dropped here and accounted for by the keep-fraction
+        scaling in :meth:`analyze`.
+        """
+        workload = mapping.workload
+        if operand == "B":
+            values = workload.normalized_weights()
+            if values is not None and workload.pruning_mask is not None:
+                values = values[workload.pruning_mask]
+        elif operand == "A":
+            values = workload.normalized_inputs()
+        else:
+            values = None
+        if values is None:
+            return None
+        flat = np.asarray(values, dtype=float).ravel()
+        limit = self.config.value_sample_limit
+        if flat.size > limit:
+            rng = np.random.default_rng(0)
+            flat = rng.choice(flat, size=limit, replace=False)
+        return flat
+
+    def _device_power_mw(
+        self,
+        arch: Architecture,
+        inst: ArchInstance,
+        mapping: Mapping,
+        data_aware: bool,
+    ) -> float:
+        device = arch.library.get(inst.device)
+        if not (data_aware and inst.data_dependent):
+            return device.nominal_power_mw()
+        values = self._operand_values(mapping, inst.operand)
+        if values is None or values.size == 0:
+            return device.nominal_power_mw()
+        return device.response.average_power_mw(values)
+
+    # -- main entry point -------------------------------------------------------------
+    def analyze(
+        self,
+        arch: Architecture,
+        mapping: Mapping,
+        link_budget: Optional[LinkBudgetReport] = None,
+        memory_energy_pj: float = 0.0,
+        memory_static_power_mw: float = 0.0,
+        data_aware: Optional[bool] = None,
+    ) -> EnergyReport:
+        data_aware = self.config.data_aware if data_aware is None else data_aware
+        params = dict(arch.params)
+        params.update(mapping.params_overlay())
+        total_time_ns = mapping.total_time_ns
+        compute_time_ns = mapping.compute_time_ns
+        active_cycles = mapping.compute_cycles
+        cycle_ns = 1.0 / mapping.frequency_ghz
+        workload = mapping.workload
+
+        breakdown: Dict[str, float] = {}
+
+        def add(label: str, energy_pj: float) -> None:
+            if energy_pj <= 0:
+                return
+            breakdown[label] = breakdown.get(label, 0.0) + energy_pj
+
+        # Laser: sized by the link budget, on for the optical compute phases.
+        if link_budget is not None:
+            add("Laser", link_budget.total_laser_electrical_power_mw * compute_time_ns)
+
+        for inst in arch.energy_instances():
+            if inst.role is Role.LIGHT_SOURCE and link_budget is not None:
+                continue  # already accounted via the link budget
+            if inst.activity is Activity.PASSIVE:
+                continue
+            count = inst.instance_count(params)
+            if count == 0:
+                continue
+            device = arch.library.get(inst.device)
+            label = component_label(inst)
+            duty = inst.duty_factor(params)
+
+            if inst.activity is Activity.STATIC:
+                gating = 1.0
+                if data_aware and inst.operand == "B":
+                    gating = max(0.0, 1.0 - workload.sparsity)
+                power = self._device_power_mw(arch, inst, mapping, data_aware)
+                add(label, count * power * duty * gating * compute_time_ns)
+
+            elif inst.activity is Activity.PER_CYCLE:
+                activity_scale = duty
+                if self.config.include_idle_gating:
+                    activity_scale *= mapping.utilization
+                if data_aware and inst.role is Role.WEIGHT_ENCODER:
+                    activity_scale *= max(0.0, 1.0 - workload.sparsity)
+                power = self._device_power_mw(arch, inst, mapping, data_aware)
+                energy_per_cycle = power * cycle_ns + device.energy_per_op_pj
+                add(label, count * energy_per_cycle * active_cycles * activity_scale)
+
+            elif inst.activity is Activity.PER_RECONFIG:
+                events = mapping.reconfig_events * mapping.forwards
+                if events == 0:
+                    continue
+                write_energy = float(
+                    device.spec.extra.get("write_energy_pj", device.energy_per_op_pj)
+                )
+                scale = 1.0
+                if data_aware:
+                    scale = max(0.0, 1.0 - workload.sparsity)
+                add(label, count * events * write_energy * scale)
+
+        # Data movement: dynamic access energy plus buffer leakage over the active
+        # compute phases (stall cycles are charged to latency, not energy).
+        dm_energy = memory_energy_pj + memory_static_power_mw * compute_time_ns
+        add("DM", dm_energy)
+
+        return EnergyReport(
+            breakdown_pj=breakdown,
+            total_time_ns=total_time_ns,
+            data_aware=data_aware,
+        )

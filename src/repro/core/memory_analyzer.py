@@ -1,0 +1,136 @@
+"""Bandwidth-adaptive memory modeling and data-movement energy.
+
+Builds the HBM/GLB/LB/RF hierarchy sized for the workload, verifies (and adapts) the
+GLB banking so the per-cycle operand demand of the dataflow is met without stalling
+the cores, and turns the per-level traffic of a mapping into data-movement energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.arch.architecture import Architecture
+from repro.core.config import SimulationConfig
+from repro.dataflow.mapping import Mapping
+from repro.memory.cacti import HBMModel
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLevel
+
+
+@dataclass
+class MemoryReport:
+    """Memory hierarchy configuration, bandwidth check and energy for one run."""
+
+    hierarchy: MemoryHierarchy
+    glb_blocks: int
+    demand_bytes_per_ns: float
+    glb_bandwidth_bytes_per_ns: float
+    traffic_bits: Dict[MemoryLevel, float] = field(default_factory=dict)
+    energy_pj: Dict[MemoryLevel, float] = field(default_factory=dict)
+    onchip_area_mm2: float = 0.0
+    leakage_mw: float = 0.0
+    onchip_leakage_mw: float = 0.0
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+    @property
+    def bandwidth_satisfied(self) -> bool:
+        return self.glb_bandwidth_bytes_per_ns >= self.demand_bytes_per_ns
+
+
+class MemoryAnalyzer:
+    """Sizes the memory hierarchy and accounts for data-movement energy."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+
+    # -- hierarchy construction -----------------------------------------------------
+    def build_hierarchy(
+        self,
+        mappings: Iterable[Mapping],
+        arch: Architecture,
+    ) -> MemoryHierarchy:
+        """Size GLB/LB/RF from the workload set per the paper's level-sizing rule."""
+        mappings = list(mappings)
+        if not mappings:
+            return MemoryHierarchy.default(
+                buswidth_bits=self.config.glb_buswidth_bits,
+                tech_nm=self.config.memory_tech_nm,
+            )
+        max_layer_bytes = max(m.workload.total_bytes for m in mappings)
+        tile_bytes = max(
+            (
+                m.m_parallel * m.workload.k * m.workload.input_bits
+                + m.workload.k * m.n_parallel * m.workload.weight_bits
+                + m.m_parallel * m.n_parallel * m.workload.output_bits
+            )
+            / 8.0
+            for m in mappings
+        )
+        cycle_bytes = max(m.bytes_per_cycle.get("total", 0.0) for m in mappings)
+        hbm = HBMModel(energy_pj_per_bit=self.config.hbm_energy_pj_per_bit)
+        return MemoryHierarchy.for_workload(
+            max_layer_bytes=max_layer_bytes,
+            tile_bytes=tile_bytes,
+            cycle_bytes=cycle_bytes,
+            buswidth_bits=self.config.glb_buswidth_bits,
+            tech_nm=self.config.memory_tech_nm,
+            hbm=hbm,
+        )
+
+    # -- bandwidth ---------------------------------------------------------------------
+    def bandwidth_demand_bytes_per_ns(self, mappings: Iterable[Mapping], arch: Architecture) -> float:
+        """Worst-case GLB bandwidth demand across the workloads (bytes per ns).
+
+        Implements the paper's ``BW_GLB = MaxLayerSize * f / (Np * Dp * Mp)`` rule:
+        the layer's operands must stream out of the GLB over the layer's compute
+        cycles, with data sharing/broadcast (the register file and local buffer
+        absorb the per-cycle reuse) already accounted for by dividing by the full
+        blocked iteration count.
+        """
+        demand = 0.0
+        for mapping in mappings:
+            cycles = max(mapping.compute_cycles_per_forward, 1)
+            layer_bytes = mapping.workload.total_bytes
+            per_cycle = layer_bytes / cycles
+            demand = max(demand, per_cycle * arch.frequency_ghz)
+        return demand
+
+    # -- main entry point ----------------------------------------------------------------
+    def analyze(
+        self,
+        mappings: Iterable[Mapping],
+        arch: Architecture,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ) -> MemoryReport:
+        mappings = list(mappings)
+        hierarchy = hierarchy or self.build_hierarchy(mappings, arch)
+        demand = self.bandwidth_demand_bytes_per_ns(mappings, arch)
+        glb_blocks = hierarchy.adapt_glb_bandwidth(demand) if demand > 0 else 1
+        glb_bw = hierarchy.glb.bandwidth_bits_per_ns / 8.0
+
+        traffic: Dict[MemoryLevel, float] = {level: 0.0 for level in MemoryLevel}
+        for mapping in mappings:
+            for level, bits in mapping.traffic_bits.items():
+                traffic[level] = traffic.get(level, 0.0) + bits
+
+        energy: Dict[MemoryLevel, float] = {}
+        for level, bits in traffic.items():
+            if bits <= 0:
+                energy[level] = 0.0
+                continue
+            energy[level] = hierarchy.access_energy_pj(level, bits)
+
+        return MemoryReport(
+            hierarchy=hierarchy,
+            glb_blocks=glb_blocks,
+            demand_bytes_per_ns=demand,
+            glb_bandwidth_bytes_per_ns=glb_bw,
+            traffic_bits=traffic,
+            energy_pj=energy,
+            onchip_area_mm2=hierarchy.onchip_area_mm2(),
+            leakage_mw=hierarchy.leakage_mw(),
+            onchip_leakage_mw=hierarchy.onchip_leakage_mw(),
+        )

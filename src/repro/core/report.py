@@ -1,0 +1,87 @@
+"""Report helpers: component labelling, breakdown merging, text rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.arch.instance import ArchInstance
+from repro.utils.format import format_breakdown, format_table
+
+#: Device-library name -> human-readable component label used in breakdowns.
+#: Matches the component legends of the paper's Figs. 7-11.
+COMPONENT_LABELS: Dict[str, str] = {
+    "dac": "DAC",
+    "adc": "ADC",
+    "tia": "TIA",
+    "integrator": "Integrator",
+    "digital_control": "Digital",
+    "mzm": "MZM",
+    "mrm": "MZM",
+    "mzi": "PS",
+    "phase_shifter": "PS",
+    "ps_bias": "PS",
+    "mrr": "MRR",
+    "pcm": "PCM",
+    "pd": "PD",
+    "laser": "Laser",
+    "microcomb": "Laser",
+    "coupler": "Coupling",
+    "y_branch": "Y Branch",
+    "mmi": "MMI",
+    "wdm_mux": "MMI",
+    "crossing": "Crossing",
+    "directional_coupler": "Node",
+}
+
+
+def component_label(instance: ArchInstance) -> str:
+    """Map an architecture instance to its breakdown component label."""
+    if instance.is_composite:
+        return "Node"
+    return COMPONENT_LABELS.get(instance.device, instance.device)
+
+
+def merge_breakdowns(breakdowns: Iterable[Mapping[str, float]]) -> Dict[str, float]:
+    """Sum a sequence of component breakdowns into one."""
+    merged: Dict[str, float] = {}
+    for breakdown in breakdowns:
+        for key, value in breakdown.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
+
+
+def scale_breakdown(breakdown: Mapping[str, float], factor: float) -> Dict[str, float]:
+    """Multiply every component of a breakdown by ``factor``."""
+    return {key: value * factor for key, value in breakdown.items()}
+
+
+def render_breakdown(breakdown: Mapping[str, float], unit: str = "") -> str:
+    """Human-readable table of a breakdown, sorted by descending value."""
+    return format_breakdown(dict(breakdown), unit=unit)
+
+
+def render_comparison(
+    label_a: str,
+    breakdown_a: Mapping[str, float],
+    label_b: str,
+    breakdown_b: Mapping[str, float],
+) -> str:
+    """Side-by-side comparison table of two breakdowns (e.g. SimPhony vs. reference)."""
+    keys = sorted(set(breakdown_a) | set(breakdown_b))
+    rows = []
+    for key in keys:
+        a = breakdown_a.get(key, 0.0)
+        b = breakdown_b.get(key, 0.0)
+        ratio = a / b if b else float("inf") if a else 1.0
+        rows.append((key, a, b, ratio))
+    rows.append(
+        (
+            "TOTAL",
+            sum(breakdown_a.values()),
+            sum(breakdown_b.values()),
+            (sum(breakdown_a.values()) / sum(breakdown_b.values()))
+            if sum(breakdown_b.values())
+            else float("inf"),
+        )
+    )
+    return format_table(["component", label_a, label_b, "ratio"], rows)

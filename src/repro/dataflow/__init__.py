@@ -1,0 +1,13 @@
+"""Photonics-specific dataflow: GEMM workloads, loop-nest mapping, heterogeneous scheduling."""
+
+from repro.dataflow.gemm import GEMMWorkload
+from repro.dataflow.mapping import DataflowMapper, Mapping
+from repro.dataflow.scheduler import HeterogeneousMapper, LayerAssignment
+
+__all__ = [
+    "GEMMWorkload",
+    "DataflowMapper",
+    "Mapping",
+    "HeterogeneousMapper",
+    "LayerAssignment",
+]

@@ -1,0 +1,84 @@
+"""Heterogeneous layer-to-sub-architecture mapping.
+
+The paper's Fig. 11 use case: different layer types run on different photonic
+sub-architectures sharing one memory hierarchy (convolutions on SCATTER, linear
+layers on an MZI mesh, attention matmuls on a dynamic PTC).  The mapper routes each
+extracted layer workload to a sub-architecture using, in priority order,
+
+1. the PTC assignment recorded on the layer during ONN conversion,
+2. an explicit ``layer_type -> subarch`` rule table,
+3. a default sub-architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.arch.architecture import Architecture, HeterogeneousArchitecture
+from repro.onn.workload import LayerWorkload
+
+
+@dataclass
+class LayerAssignment:
+    """A layer workload routed to a named sub-architecture."""
+
+    workload: LayerWorkload
+    subarch_key: str
+    arch: Architecture
+
+    @property
+    def layer_name(self) -> str:
+        return self.workload.layer_name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LayerAssignment({self.layer_name!r} -> {self.subarch_key!r})"
+
+
+class HeterogeneousMapper:
+    """Routes layer workloads to the sub-architectures of a heterogeneous system."""
+
+    def __init__(
+        self,
+        system: HeterogeneousArchitecture,
+        type_rules: Optional[Dict[str, str]] = None,
+        default_subarch: Optional[str] = None,
+    ) -> None:
+        if len(system) == 0:
+            raise ValueError("heterogeneous system has no sub-architectures")
+        self.system = system
+        self.type_rules = dict(type_rules or {})
+        if default_subarch is None:
+            default_subarch = next(iter(system.subarchs))
+        if default_subarch not in system:
+            raise KeyError(f"default sub-architecture {default_subarch!r} not in system")
+        self.default_subarch = default_subarch
+        for layer_type, key in self.type_rules.items():
+            if key not in system:
+                raise KeyError(
+                    f"rule {layer_type!r} -> {key!r} references unknown sub-architecture"
+                )
+
+    def _resolve(self, workload: LayerWorkload) -> str:
+        if workload.ptc_type and workload.ptc_type in self.system:
+            return workload.ptc_type
+        if workload.layer_type in self.type_rules:
+            return self.type_rules[workload.layer_type]
+        return self.default_subarch
+
+    def assign(self, workloads: Iterable[LayerWorkload]) -> List[LayerAssignment]:
+        """Assign every workload to a sub-architecture."""
+        assignments: List[LayerAssignment] = []
+        for workload in workloads:
+            key = self._resolve(workload)
+            assignments.append(
+                LayerAssignment(workload=workload, subarch_key=key, arch=self.system.get(key))
+            )
+        return assignments
+
+    def partition(self, workloads: Iterable[LayerWorkload]) -> Dict[str, List[LayerWorkload]]:
+        """Group workloads by the sub-architecture they were routed to."""
+        groups: Dict[str, List[LayerWorkload]] = {key: [] for key in self.system.subarchs}
+        for assignment in self.assign(workloads):
+            groups[assignment.subarch_key].append(assignment.workload)
+        return groups

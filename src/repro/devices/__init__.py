@@ -1,0 +1,78 @@
+"""SimPhony-DevLib: the customizable electronic-photonic device library.
+
+Every device is described by a :class:`~repro.devices.base.DeviceSpec` (geometry,
+insertion loss, static power, per-operation energy, latency, reconfiguration time)
+plus an optional data-dependent :class:`~repro.devices.response.PowerResponse` that
+maps the encoded operand value to instantaneous device power.  Concrete device
+classes expose physically meaningful constructor parameters (bit resolution,
+sampling rate, P_pi, responsivity, ...) and derive the spec from them, mirroring the
+paper's "power scaling with customized sampling rates and bit resolutions".
+"""
+
+from repro.devices.base import Device, DeviceCategory, DeviceSpec
+from repro.devices.response import (
+    PowerResponse,
+    ConstantPower,
+    LinearResponse,
+    PolynomialResponse,
+    TabulatedResponse,
+    QuadraticPhaseShifterResponse,
+)
+from repro.devices.electrical import (
+    DAC,
+    ADC,
+    TIA,
+    Integrator,
+    DigitalControl,
+)
+from repro.devices.photonic import (
+    Laser,
+    MicroCombSource,
+    FiberCoupler,
+    MachZehnderModulator,
+    MZIPhaseShifter,
+    ThermoOpticPhaseShifter,
+    MicroRingResonator,
+    MicroRingModulator,
+    Photodetector,
+    YBranch,
+    MMICoupler,
+    WaveguideCrossing,
+    DirectionalCoupler,
+    PCMCell,
+    WDMMux,
+)
+from repro.devices.library import DeviceLibrary
+
+__all__ = [
+    "Device",
+    "DeviceCategory",
+    "DeviceSpec",
+    "PowerResponse",
+    "ConstantPower",
+    "LinearResponse",
+    "PolynomialResponse",
+    "TabulatedResponse",
+    "QuadraticPhaseShifterResponse",
+    "DAC",
+    "ADC",
+    "TIA",
+    "Integrator",
+    "DigitalControl",
+    "Laser",
+    "MicroCombSource",
+    "FiberCoupler",
+    "MachZehnderModulator",
+    "MZIPhaseShifter",
+    "ThermoOpticPhaseShifter",
+    "MicroRingResonator",
+    "MicroRingModulator",
+    "Photodetector",
+    "YBranch",
+    "MMICoupler",
+    "WaveguideCrossing",
+    "DirectionalCoupler",
+    "PCMCell",
+    "WDMMux",
+    "DeviceLibrary",
+]

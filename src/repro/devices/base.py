@@ -1,0 +1,197 @@
+"""Base device model shared by all SimPhony-DevLib devices.
+
+A device is characterized by:
+
+- geometry (``width_um`` x ``height_um``), used by the layout-aware area analyzer;
+- optical insertion loss in dB, used by the link-budget analyzer;
+- static (always-on) power in mW;
+- per-operation dynamic energy in pJ (per conversion for data converters, per
+  symbol for modulators, ...);
+- operating latency and reconfiguration time in ns, used by the latency analyzer;
+- an optional data-dependent power response, used by the data-aware energy analyzer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.devices.response import ConstantPower, PowerResponse
+
+
+class DeviceCategory(str, Enum):
+    """Coarse device category used for breakdown grouping and library filtering."""
+
+    ELECTRICAL = "electrical"
+    PHOTONIC = "photonic"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable record of a device's physical and electrical characteristics.
+
+    All quantities use the canonical units from :mod:`repro.utils.units`:
+    micrometers, milliwatts, picojoules, nanoseconds, decibels.
+    """
+
+    name: str
+    category: DeviceCategory
+    width_um: float
+    height_um: float
+    insertion_loss_db: float = 0.0
+    static_power_mw: float = 0.0
+    energy_per_op_pj: float = 0.0
+    latency_ns: float = 0.0
+    reconfig_time_ns: float = 0.0
+    max_frequency_ghz: float = 0.0
+    bit_resolution: int = 0
+    description: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width_um < 0 or self.height_um < 0:
+            raise ValueError(
+                f"device {self.name!r}: dimensions must be non-negative, "
+                f"got {self.width_um} x {self.height_um}"
+            )
+        if self.insertion_loss_db < 0:
+            raise ValueError(
+                f"device {self.name!r}: insertion loss must be non-negative, "
+                f"got {self.insertion_loss_db} dB"
+            )
+        if self.static_power_mw < 0 or self.energy_per_op_pj < 0:
+            raise ValueError(
+                f"device {self.name!r}: power/energy must be non-negative"
+            )
+
+    @property
+    def footprint_um2(self) -> float:
+        """Bounding-box area of a single device instance in um^2."""
+        return self.width_um * self.height_um
+
+    def replace(self, **overrides: Any) -> "DeviceSpec":
+        """Return a copy of the spec with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
+class Device:
+    """A concrete device model: a spec plus an optional data-dependent power response.
+
+    Subclasses expose physically meaningful constructor arguments and translate them
+    into a :class:`DeviceSpec`.  The base class provides the uniform interface the
+    analyzers rely on, so user-defined devices only need to build a spec (and,
+    optionally, a response).
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        response: Optional[PowerResponse] = None,
+    ) -> None:
+        self.spec = spec
+        self.response = response if response is not None else ConstantPower(
+            spec.static_power_mw
+        )
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def category(self) -> DeviceCategory:
+        return self.spec.category
+
+    def is_photonic(self) -> bool:
+        return self.spec.category is DeviceCategory.PHOTONIC
+
+    def is_electrical(self) -> bool:
+        return self.spec.category is DeviceCategory.ELECTRICAL
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def width_um(self) -> float:
+        return self.spec.width_um
+
+    @property
+    def height_um(self) -> float:
+        return self.spec.height_um
+
+    @property
+    def area_um2(self) -> float:
+        return self.spec.footprint_um2
+
+    # -- optics ----------------------------------------------------------------
+    @property
+    def insertion_loss_db(self) -> float:
+        return self.spec.insertion_loss_db
+
+    # -- power / energy --------------------------------------------------------
+    @property
+    def static_power_mw(self) -> float:
+        return self.spec.static_power_mw
+
+    @property
+    def energy_per_op_pj(self) -> float:
+        return self.spec.energy_per_op_pj
+
+    def power_mw(self, value: Optional[float] = None) -> float:
+        """Instantaneous power when the device encodes ``value``.
+
+        ``value`` is the normalized operand routed to the device (a weight,
+        transmission, or phase in the device's native encoding).  When ``value`` is
+        ``None``, the device's nominal (data-unaware) power -- the worst case used by
+        conventional simulators -- is returned.
+        """
+        if value is None:
+            return self.nominal_power_mw()
+        return self.response.power_mw(value)
+
+    def nominal_power_mw(self) -> float:
+        """Data-unaware power: the response's maximum plus any static bias floor."""
+        return max(self.response.max_power_mw(), self.spec.static_power_mw)
+
+    def energy_per_cycle_pj(self, frequency_ghz: float, value: Optional[float] = None) -> float:
+        """Energy consumed during one clock cycle at ``frequency_ghz``.
+
+        Combines the (possibly data-dependent) power integrated over one cycle with
+        the per-operation dynamic energy of the device.
+        """
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_ghz!r} GHz")
+        cycle_ns = 1.0 / frequency_ghz
+        return self.power_mw(value) * cycle_ns + self.spec.energy_per_op_pj
+
+    # -- timing ----------------------------------------------------------------
+    @property
+    def latency_ns(self) -> float:
+        return self.spec.latency_ns
+
+    @property
+    def reconfig_time_ns(self) -> float:
+        return self.spec.reconfig_time_ns
+
+    # -- customization ----------------------------------------------------------
+    def scaled(self, **overrides: Any) -> "Device":
+        """Return a copy of this device with spec fields replaced.
+
+        This is the plug-in point for foundry-PDK data: users clone a library device
+        and override measured footprint, loss or power numbers.
+        """
+        return Device(self.spec.replace(**overrides), response=self.response)
+
+    def with_response(self, response: PowerResponse) -> "Device":
+        """Return a copy of this device with a different power response."""
+        return Device(self.spec, response=response)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.__class__.__name__}(name={self.spec.name!r}, "
+            f"category={self.spec.category.value}, "
+            f"area={self.area_um2:.1f}um2, IL={self.insertion_loss_db}dB)"
+        )

@@ -1,0 +1,223 @@
+"""Electrical device models: data converters, analog front-end, digital control.
+
+The headline feature (per the paper) is *power scaling with customized sampling
+rates and bit resolutions*: DAC/ADC power follows the standard figure-of-merit model
+
+    P = FoM * 2^bits * f_sample
+
+so quantization-aware co-design experiments (Fig. 9b) can sweep the bitwidth and see
+the converter power move accordingly.  All default figures of merit and footprints
+are taken from the device assumptions of the reference designs the paper validates
+against (TeMPO, Lightening-Transformer) and can be overridden per instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import Device, DeviceCategory, DeviceSpec
+from repro.devices.response import ConstantPower
+
+
+class DAC(Device):
+    """Digital-to-analog converter driving an optical modulator.
+
+    Power model: ``P = fom_fj_per_conv_step * 2^bits * f_sample`` (plus a small
+    static bias).  The default 12.5 fJ/conversion-step figure of merit corresponds to
+    a moderate-speed current-steering DAC in a 28-45 nm node.
+    """
+
+    DEFAULT_FOM_FJ = 12.5
+
+    def __init__(
+        self,
+        bits: int = 8,
+        sampling_rate_ghz: float = 5.0,
+        fom_fj_per_conv_step: float = DEFAULT_FOM_FJ,
+        static_power_mw: float = 0.1,
+        width_um: float = 50.0,
+        height_um: float = 50.0,
+        name: str = "dac",
+    ) -> None:
+        if bits <= 0:
+            raise ValueError(f"DAC bit resolution must be positive, got {bits}")
+        if sampling_rate_ghz <= 0:
+            raise ValueError("DAC sampling rate must be positive")
+        self.bits = bits
+        self.sampling_rate_ghz = sampling_rate_ghz
+        self.fom_fj_per_conv_step = fom_fj_per_conv_step
+        # energy per conversion in pJ: FoM[fJ] * 2^bits / 1000
+        energy_per_conv_pj = fom_fj_per_conv_step * (2**bits) * 1e-3
+        dynamic_power_mw = energy_per_conv_pj * sampling_rate_ghz
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.ELECTRICAL,
+            width_um=width_um,
+            height_um=height_um,
+            static_power_mw=static_power_mw + dynamic_power_mw,
+            energy_per_op_pj=0.0,
+            latency_ns=1.0 / sampling_rate_ghz,
+            max_frequency_ghz=sampling_rate_ghz,
+            bit_resolution=bits,
+            description=f"{bits}-bit DAC @ {sampling_rate_ghz} GS/s",
+        )
+        super().__init__(spec, response=ConstantPower(spec.static_power_mw))
+
+    @property
+    def energy_per_conversion_pj(self) -> float:
+        """Energy for one D/A conversion at the configured resolution."""
+        return self.fom_fj_per_conv_step * (2**self.bits) * 1e-3
+
+    def rescaled(self, bits: Optional[int] = None, sampling_rate_ghz: Optional[float] = None) -> "DAC":
+        """Return a new DAC with a different resolution and/or sampling rate."""
+        return DAC(
+            bits=bits if bits is not None else self.bits,
+            sampling_rate_ghz=(
+                sampling_rate_ghz if sampling_rate_ghz is not None else self.sampling_rate_ghz
+            ),
+            fom_fj_per_conv_step=self.fom_fj_per_conv_step,
+            width_um=self.spec.width_um,
+            height_um=self.spec.height_um,
+            name=self.spec.name,
+        )
+
+
+class ADC(Device):
+    """Analog-to-digital converter at the photodetector readout.
+
+    Power model follows the Walden figure of merit: ``P = FoM * 2^bits * f_sample``.
+    ADCs typically dominate the electrical power of analog AI accelerators, which is
+    why bit-resolution sweeps (Fig. 9b) matter.
+    """
+
+    DEFAULT_FOM_FJ = 30.0
+
+    def __init__(
+        self,
+        bits: int = 8,
+        sampling_rate_ghz: float = 5.0,
+        fom_fj_per_conv_step: float = DEFAULT_FOM_FJ,
+        static_power_mw: float = 0.2,
+        width_um: float = 100.0,
+        height_um: float = 80.0,
+        name: str = "adc",
+    ) -> None:
+        if bits <= 0:
+            raise ValueError(f"ADC bit resolution must be positive, got {bits}")
+        if sampling_rate_ghz <= 0:
+            raise ValueError("ADC sampling rate must be positive")
+        self.bits = bits
+        self.sampling_rate_ghz = sampling_rate_ghz
+        self.fom_fj_per_conv_step = fom_fj_per_conv_step
+        energy_per_conv_pj = fom_fj_per_conv_step * (2**bits) * 1e-3
+        dynamic_power_mw = energy_per_conv_pj * sampling_rate_ghz
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.ELECTRICAL,
+            width_um=width_um,
+            height_um=height_um,
+            static_power_mw=static_power_mw + dynamic_power_mw,
+            energy_per_op_pj=0.0,
+            latency_ns=1.0 / sampling_rate_ghz,
+            max_frequency_ghz=sampling_rate_ghz,
+            bit_resolution=bits,
+            description=f"{bits}-bit ADC @ {sampling_rate_ghz} GS/s",
+        )
+        super().__init__(spec, response=ConstantPower(spec.static_power_mw))
+
+    @property
+    def energy_per_conversion_pj(self) -> float:
+        return self.fom_fj_per_conv_step * (2**self.bits) * 1e-3
+
+    def rescaled(self, bits: Optional[int] = None, sampling_rate_ghz: Optional[float] = None) -> "ADC":
+        return ADC(
+            bits=bits if bits is not None else self.bits,
+            sampling_rate_ghz=(
+                sampling_rate_ghz if sampling_rate_ghz is not None else self.sampling_rate_ghz
+            ),
+            fom_fj_per_conv_step=self.fom_fj_per_conv_step,
+            width_um=self.spec.width_um,
+            height_um=self.spec.height_um,
+            name=self.spec.name,
+        )
+
+
+class TIA(Device):
+    """Transimpedance amplifier converting photocurrent to voltage before the ADC."""
+
+    def __init__(
+        self,
+        power_mw: float = 3.0,
+        bandwidth_ghz: float = 10.0,
+        width_um: float = 60.0,
+        height_um: float = 50.0,
+        name: str = "tia",
+    ) -> None:
+        if power_mw < 0:
+            raise ValueError("TIA power must be non-negative")
+        self.bandwidth_ghz = bandwidth_ghz
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.ELECTRICAL,
+            width_um=width_um,
+            height_um=height_um,
+            static_power_mw=power_mw,
+            latency_ns=1.0 / bandwidth_ghz if bandwidth_ghz > 0 else 0.0,
+            max_frequency_ghz=bandwidth_ghz,
+            description=f"TIA, {bandwidth_ghz} GHz bandwidth",
+        )
+        super().__init__(spec)
+
+
+class Integrator(Device):
+    """Analog temporal integrator accumulating photocurrent over multiple cycles.
+
+    Used by time-integrating PTCs (e.g. TeMPO) for analog sequential accumulation
+    before a single A/D conversion, reducing ADC activity.
+    """
+
+    def __init__(
+        self,
+        power_mw: float = 0.8,
+        max_integration_cycles: int = 32,
+        width_um: float = 40.0,
+        height_um: float = 40.0,
+        name: str = "integrator",
+    ) -> None:
+        if max_integration_cycles <= 0:
+            raise ValueError("max_integration_cycles must be positive")
+        self.max_integration_cycles = max_integration_cycles
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.ELECTRICAL,
+            width_um=width_um,
+            height_um=height_um,
+            static_power_mw=power_mw,
+            description=f"analog integrator (up to {max_integration_cycles} cycles)",
+        )
+        super().__init__(spec)
+
+
+class DigitalControl(Device):
+    """Digital control / partial-sum accumulation logic (per tile).
+
+    Models the small digital block that performs sequential partial-sum accumulation
+    in the local buffer and drives the configuration state machine.
+    """
+
+    def __init__(
+        self,
+        power_mw: float = 2.0,
+        width_um: float = 100.0,
+        height_um: float = 100.0,
+        name: str = "digital_control",
+    ) -> None:
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.ELECTRICAL,
+            width_um=width_um,
+            height_um=height_um,
+            static_power_mw=power_mw,
+            description="digital control and partial-sum accumulation logic",
+        )
+        super().__init__(spec)

@@ -1,0 +1,146 @@
+"""Device library: a named registry of device models.
+
+The library is the hand-off point between the device layer and the architecture
+layer: architecture templates refer to devices *by name* ("dac", "mzm", ...) so that
+users can swap in foundry-PDK characterized devices -- or simply devices with
+different bit resolution / sampling rate -- without touching the circuit topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.devices.base import Device, DeviceCategory
+from repro.devices.electrical import ADC, DAC, TIA, DigitalControl, Integrator
+from repro.devices.photonic import (
+    DirectionalCoupler,
+    FiberCoupler,
+    Laser,
+    MachZehnderModulator,
+    MicroCombSource,
+    MicroRingModulator,
+    MicroRingResonator,
+    MMICoupler,
+    MZIPhaseShifter,
+    PCMCell,
+    Photodetector,
+    ThermoOpticPhaseShifter,
+    WaveguideCrossing,
+    WDMMux,
+    YBranch,
+)
+
+
+class DeviceLibrary:
+    """A mutable, named collection of :class:`~repro.devices.base.Device` models."""
+
+    def __init__(self, devices: Optional[Iterable[Device]] = None, name: str = "custom") -> None:
+        self.name = name
+        self._devices: Dict[str, Device] = {}
+        for device in devices or []:
+            self.register(device)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        adc_bits: int = 8,
+        dac_bits: int = 8,
+        frequency_ghz: float = 5.0,
+        num_wavelengths: int = 1,
+    ) -> "DeviceLibrary":
+        """Build the default SimPhony-DevLib with converters sized for the system clock.
+
+        ``frequency_ghz`` sets the converter sampling rate (one conversion per PTC
+        cycle) so that bitwidth/frequency sweeps propagate into DAC/ADC power, the
+        behaviour exercised by Fig. 9(b).
+        """
+        devices = [
+            Laser(name="laser"),
+            MicroCombSource(num_wavelengths=max(num_wavelengths, 1), name="microcomb"),
+            FiberCoupler(name="coupler"),
+            DAC(bits=dac_bits, sampling_rate_ghz=frequency_ghz, name="dac"),
+            ADC(bits=adc_bits, sampling_rate_ghz=frequency_ghz, name="adc"),
+            TIA(name="tia"),
+            Integrator(name="integrator"),
+            DigitalControl(name="digital_control"),
+            MachZehnderModulator(name="mzm"),
+            MZIPhaseShifter(name="mzi"),
+            ThermoOpticPhaseShifter(name="phase_shifter"),
+            MicroRingResonator(name="mrr"),
+            MicroRingModulator(name="mrm"),
+            Photodetector(name="pd"),
+            YBranch(name="y_branch"),
+            DirectionalCoupler(name="directional_coupler"),
+            MMICoupler(name="mmi"),
+            WaveguideCrossing(name="crossing"),
+            PCMCell(name="pcm"),
+            WDMMux(num_channels=max(num_wavelengths, 1), name="wdm_mux"),
+        ]
+        return cls(devices, name="simphony-devlib-default")
+
+    # -- registry protocol --------------------------------------------------------
+    def register(self, device: Device, overwrite: bool = True) -> None:
+        """Add ``device`` to the library under ``device.name``."""
+        if not overwrite and device.name in self._devices:
+            raise KeyError(f"device {device.name!r} already registered")
+        self._devices[device.name] = device
+
+    def get(self, name: str) -> Device:
+        """Look up a device by name; raises ``KeyError`` with the known names listed."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            known = ", ".join(sorted(self._devices))
+            raise KeyError(f"unknown device {name!r}; library contains: {known}") from None
+
+    def __getitem__(self, name: str) -> Device:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._devices)
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._devices)
+
+    def devices(self) -> Iterable[Device]:
+        return list(self._devices.values())
+
+    # -- filtering / customization --------------------------------------------------
+    def photonic_devices(self) -> Dict[str, Device]:
+        return {
+            name: dev
+            for name, dev in self._devices.items()
+            if dev.category is DeviceCategory.PHOTONIC
+        }
+
+    def electrical_devices(self) -> Dict[str, Device]:
+        return {
+            name: dev
+            for name, dev in self._devices.items()
+            if dev.category is DeviceCategory.ELECTRICAL
+        }
+
+    def copy(self, name: Optional[str] = None) -> "DeviceLibrary":
+        """Shallow copy of the library (device models are immutable in practice)."""
+        return DeviceLibrary(self._devices.values(), name=name or self.name)
+
+    def override(self, name: str, **spec_overrides: object) -> "DeviceLibrary":
+        """Return a copy of the library with one device's spec fields replaced.
+
+        This is the recommended way to inject PDK-measured numbers, e.g.::
+
+            lib = DeviceLibrary.default().override("mzm", insertion_loss_db=2.5)
+        """
+        new = self.copy()
+        new.register(self.get(name).scaled(**spec_overrides))
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceLibrary(name={self.name!r}, devices={len(self._devices)})"

@@ -1,0 +1,475 @@
+"""Photonic device models: lasers, modulators, interferometers, detectors, passives.
+
+Each device carries a footprint (for layout-aware area), an insertion loss (for link
+budget), static/dynamic power, and -- for devices whose dissipation depends on the
+encoded operand (phase shifters, ring tuners, PCM cells) -- a data-dependent
+:class:`~repro.devices.response.PowerResponse`.
+
+Default numbers are representative of the silicon-photonic reference designs the
+paper validates against and are meant to be overridden by foundry-PDK data via
+:meth:`~repro.devices.base.Device.scaled`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.base import Device, DeviceCategory, DeviceSpec
+from repro.devices.response import (
+    ConstantPower,
+    LinearResponse,
+    PowerResponse,
+    QuadraticPhaseShifterResponse,
+)
+from repro.utils.units import dbm_to_mw
+
+
+class Laser(Device):
+    """CW laser source.
+
+    The optical output power is *not* fixed at construction time: the link-budget
+    analyzer derives the minimum required optical power from the critical-path
+    insertion loss (Eq. 1 of the paper) and then converts it to electrical power via
+    the wall-plug efficiency stored here.
+    """
+
+    def __init__(
+        self,
+        wall_plug_efficiency: float = 0.2,
+        default_output_dbm: float = 10.0,
+        width_um: float = 400.0,
+        height_um: float = 300.0,
+        insertion_loss_db: float = 0.0,
+        name: str = "laser",
+    ) -> None:
+        if not 0 < wall_plug_efficiency <= 1:
+            raise ValueError(
+                f"wall-plug efficiency must be in (0, 1], got {wall_plug_efficiency}"
+            )
+        self.wall_plug_efficiency = wall_plug_efficiency
+        self.default_output_dbm = default_output_dbm
+        electrical_power_mw = dbm_to_mw(default_output_dbm) / wall_plug_efficiency
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=electrical_power_mw,
+            description=f"CW laser, WPE={wall_plug_efficiency}",
+        )
+        super().__init__(spec)
+
+    def electrical_power_mw(self, optical_power_mw: float) -> float:
+        """Electrical power needed to emit ``optical_power_mw`` of light."""
+        if optical_power_mw < 0:
+            raise ValueError("optical power must be non-negative")
+        return optical_power_mw / self.wall_plug_efficiency
+
+
+class MicroCombSource(Laser):
+    """Multi-wavelength micro-comb source used by WDM architectures.
+
+    Behaves like a laser whose electrical power scales with the number of comb lines
+    actually used; the per-line optical power is still set by the link budget.
+    """
+
+    def __init__(
+        self,
+        num_wavelengths: int = 12,
+        wall_plug_efficiency: float = 0.1,
+        default_output_dbm: float = 10.0,
+        width_um: float = 600.0,
+        height_um: float = 400.0,
+        name: str = "microcomb",
+    ) -> None:
+        if num_wavelengths <= 0:
+            raise ValueError("num_wavelengths must be positive")
+        super().__init__(
+            wall_plug_efficiency=wall_plug_efficiency,
+            default_output_dbm=default_output_dbm,
+            width_um=width_um,
+            height_um=height_um,
+            name=name,
+        )
+        self.num_wavelengths = num_wavelengths
+
+
+class FiberCoupler(Device):
+    """Fiber-to-chip coupler (edge or grating)."""
+
+    def __init__(
+        self,
+        insertion_loss_db: float = 1.0,
+        width_um: float = 40.0,
+        height_um: float = 20.0,
+        name: str = "coupler",
+    ) -> None:
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description="fiber-to-chip coupler",
+        )
+        super().__init__(spec)
+
+
+class MachZehnderModulator(Device):
+    """High-speed electro-optic Mach-Zehnder modulator (MZM) for operand encoding.
+
+    Captures the properties the paper enumerates for precise modeling: spatial size,
+    bandwidth, insertion loss, modulation efficiency (V_pi*L), static power,
+    extinction ratio and drive energy per symbol.
+    """
+
+    def __init__(
+        self,
+        bandwidth_ghz: float = 50.0,
+        insertion_loss_db: float = 4.0,
+        extinction_ratio_db: float = 8.0,
+        modulation_efficiency_v_cm: float = 1.0,
+        drive_energy_fj_per_symbol: float = 50.0,
+        static_power_mw: float = 0.5,
+        width_um: float = 300.0,
+        height_um: float = 25.0,
+        name: str = "mzm",
+    ) -> None:
+        if bandwidth_ghz <= 0:
+            raise ValueError("MZM bandwidth must be positive")
+        if extinction_ratio_db <= 0:
+            raise ValueError("extinction ratio must be positive")
+        self.bandwidth_ghz = bandwidth_ghz
+        self.extinction_ratio_db = extinction_ratio_db
+        self.modulation_efficiency_v_cm = modulation_efficiency_v_cm
+        self.drive_energy_fj_per_symbol = drive_energy_fj_per_symbol
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=static_power_mw,
+            energy_per_op_pj=drive_energy_fj_per_symbol * 1e-3,
+            latency_ns=1.0 / bandwidth_ghz,
+            max_frequency_ghz=bandwidth_ghz,
+            description=(
+                f"EO MZM, {bandwidth_ghz} GHz, ER={extinction_ratio_db} dB, "
+                f"IL={insertion_loss_db} dB"
+            ),
+        )
+        super().__init__(spec)
+
+
+class ThermoOpticPhaseShifter(Device):
+    """Thermo-optic phase shifter: slow (us-scale) but low-loss weight encoding.
+
+    Data-dependent power follows the encoded weight magnitude through the
+    interferometric transfer function (see
+    :class:`~repro.devices.response.QuadraticPhaseShifterResponse`).  Used by
+    weight-static PTCs (MZI meshes, SCATTER).
+    """
+
+    def __init__(
+        self,
+        p_pi_mw: float = 20.0,
+        insertion_loss_db: float = 0.2,
+        reconfig_time_ns: float = 10_000.0,
+        width_um: float = 60.0,
+        height_um: float = 20.0,
+        response: Optional[PowerResponse] = None,
+        name: str = "phase_shifter",
+    ) -> None:
+        if p_pi_mw < 0:
+            raise ValueError("P_pi must be non-negative")
+        self.p_pi_mw = p_pi_mw
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=p_pi_mw,  # nominal (data-unaware) worst case
+            reconfig_time_ns=reconfig_time_ns,
+            description=f"thermo-optic phase shifter, P_pi={p_pi_mw} mW",
+        )
+        if response is None:
+            response = QuadraticPhaseShifterResponse(p_pi_mw)
+        super().__init__(spec, response=response)
+
+
+class MZIPhaseShifter(ThermoOpticPhaseShifter):
+    """2x2 Mach-Zehnder interferometer unit cell with two phase shifters.
+
+    The MZI of a Clements/Reck mesh: a pair of phase shifters plus two 50:50
+    couplers, lumped into a single device for netlist simplicity.  Power counts both
+    phase shifters; the insertion loss includes the couplers.
+    """
+
+    def __init__(
+        self,
+        p_pi_mw: float = 20.0,
+        insertion_loss_db: float = 0.33,
+        reconfig_time_ns: float = 10_000.0,
+        width_um: float = 150.0,
+        height_um: float = 60.0,
+        name: str = "mzi",
+    ) -> None:
+        super().__init__(
+            p_pi_mw=2.0 * p_pi_mw,
+            insertion_loss_db=insertion_loss_db,
+            reconfig_time_ns=reconfig_time_ns,
+            width_um=width_um,
+            height_um=height_um,
+            name=name,
+        )
+
+
+class MicroRingResonator(Device):
+    """Micro-ring resonator weight element (MRR weight bank).
+
+    Tuning power is data dependent: rings parked on resonance dissipate the most,
+    so the response is linear in the detuning required by the encoded weight.
+    """
+
+    def __init__(
+        self,
+        tuning_power_mw: float = 4.0,
+        insertion_loss_db: float = 0.5,
+        reconfig_time_ns: float = 1_000.0,
+        radius_um: float = 10.0,
+        name: str = "mrr",
+    ) -> None:
+        if tuning_power_mw < 0:
+            raise ValueError("tuning power must be non-negative")
+        self.tuning_power_mw = tuning_power_mw
+        size = 2 * radius_um + 10.0
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=size,
+            height_um=size,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=tuning_power_mw,
+            reconfig_time_ns=reconfig_time_ns,
+            description=f"micro-ring resonator, r={radius_um} um",
+        )
+        super().__init__(spec, response=LinearResponse(tuning_power_mw))
+
+
+class MicroRingModulator(Device):
+    """High-speed micro-ring modulator for dynamic operand encoding (MRM)."""
+
+    def __init__(
+        self,
+        bandwidth_ghz: float = 25.0,
+        insertion_loss_db: float = 1.0,
+        extinction_ratio_db: float = 6.0,
+        drive_energy_fj_per_symbol: float = 20.0,
+        tuning_power_mw: float = 1.5,
+        radius_um: float = 8.0,
+        name: str = "mrm",
+    ) -> None:
+        self.bandwidth_ghz = bandwidth_ghz
+        self.extinction_ratio_db = extinction_ratio_db
+        self.drive_energy_fj_per_symbol = drive_energy_fj_per_symbol
+        size = 2 * radius_um + 10.0
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=size,
+            height_um=size,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=tuning_power_mw,
+            energy_per_op_pj=drive_energy_fj_per_symbol * 1e-3,
+            latency_ns=1.0 / bandwidth_ghz,
+            max_frequency_ghz=bandwidth_ghz,
+            description=f"micro-ring modulator, {bandwidth_ghz} GHz",
+        )
+        super().__init__(spec)
+
+
+class Photodetector(Device):
+    """Photodetector (PD) converting optical power to photocurrent.
+
+    ``sensitivity_dbm`` is the minimum detectable optical power used by the
+    link-budget analyzer to size the laser.
+    """
+
+    def __init__(
+        self,
+        responsivity_a_per_w: float = 1.0,
+        sensitivity_dbm: float = -25.0,
+        bandwidth_ghz: float = 40.0,
+        bias_power_mw: float = 0.1,
+        insertion_loss_db: float = 0.0,
+        width_um: float = 20.0,
+        height_um: float = 15.0,
+        name: str = "pd",
+    ) -> None:
+        if responsivity_a_per_w <= 0:
+            raise ValueError("responsivity must be positive")
+        self.responsivity_a_per_w = responsivity_a_per_w
+        self.sensitivity_dbm = sensitivity_dbm
+        self.bandwidth_ghz = bandwidth_ghz
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=bias_power_mw,
+            latency_ns=1.0 / bandwidth_ghz if bandwidth_ghz > 0 else 0.0,
+            max_frequency_ghz=bandwidth_ghz,
+            description=f"photodetector, S={sensitivity_dbm} dBm",
+        )
+        super().__init__(spec)
+
+
+class YBranch(Device):
+    """Passive 1x2 Y-branch splitter/combiner."""
+
+    def __init__(
+        self,
+        insertion_loss_db: float = 0.1,
+        width_um: float = 15.0,
+        height_um: float = 10.0,
+        name: str = "y_branch",
+    ) -> None:
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description="1x2 Y-branch",
+        )
+        super().__init__(spec)
+
+
+class MMICoupler(Device):
+    """Multi-mode interference coupler (NxN splitter/combiner)."""
+
+    def __init__(
+        self,
+        num_ports: int = 2,
+        insertion_loss_db: float = 0.3,
+        width_um: float = 30.0,
+        height_um: float = 12.0,
+        name: str = "mmi",
+    ) -> None:
+        if num_ports < 1:
+            raise ValueError("MMI must have at least one port")
+        self.num_ports = num_ports
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description=f"{num_ports}x{num_ports} MMI coupler",
+        )
+        super().__init__(spec)
+
+
+class DirectionalCoupler(Device):
+    """Passive 2x2 directional coupler."""
+
+    def __init__(
+        self,
+        insertion_loss_db: float = 0.2,
+        width_um: float = 25.0,
+        height_um: float = 10.0,
+        name: str = "directional_coupler",
+    ) -> None:
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description="2x2 directional coupler",
+        )
+        super().__init__(spec)
+
+
+class WaveguideCrossing(Device):
+    """Waveguide crossing.  Loss accumulates rapidly on broadcast paths."""
+
+    def __init__(
+        self,
+        insertion_loss_db: float = 0.15,
+        width_um: float = 8.0,
+        height_um: float = 8.0,
+        name: str = "crossing",
+    ) -> None:
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description="waveguide crossing",
+        )
+        super().__init__(spec)
+
+
+class PCMCell(Device):
+    """Non-volatile phase-change-material weight cell (e.g. GST on a waveguide).
+
+    Zero static holding power, but writes are slow (>100 ns) and energetic, which is
+    what triggers the reconfiguration-latency penalty in weight-static dataflows.
+    """
+
+    def __init__(
+        self,
+        write_energy_pj: float = 100.0,
+        write_time_ns: float = 200.0,
+        insertion_loss_db: float = 1.0,
+        width_um: float = 15.0,
+        height_um: float = 10.0,
+        name: str = "pcm",
+    ) -> None:
+        if write_time_ns <= 0:
+            raise ValueError("PCM write time must be positive")
+        self.write_energy_pj = write_energy_pj
+        self.write_time_ns = write_time_ns
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            static_power_mw=0.0,
+            energy_per_op_pj=0.0,
+            reconfig_time_ns=write_time_ns,
+            description="non-volatile PCM weight cell",
+            extra={"write_energy_pj": write_energy_pj},
+        )
+        super().__init__(spec, response=ConstantPower(0.0))
+
+
+class WDMMux(Device):
+    """Wavelength (de)multiplexer used at the boundary of WDM links."""
+
+    def __init__(
+        self,
+        num_channels: int = 8,
+        insertion_loss_db: float = 1.0,
+        width_um: float = 100.0,
+        height_um: float = 50.0,
+        name: str = "wdm_mux",
+    ) -> None:
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        self.num_channels = num_channels
+        spec = DeviceSpec(
+            name=name,
+            category=DeviceCategory.PHOTONIC,
+            width_um=width_um,
+            height_um=height_um,
+            insertion_loss_db=insertion_loss_db,
+            description=f"{num_channels}-channel WDM mux/demux",
+        )
+        super().__init__(spec)

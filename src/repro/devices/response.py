@@ -1,0 +1,223 @@
+"""Data-dependent device power-response models.
+
+The paper's Fig. 5 distinguishes three fidelity levels for analog device power:
+
+1. *data-independent* -- a single nominal (usually worst-case) power number;
+2. *data-dependent with an analytical model* -- e.g. a thermo-optic phase shifter
+   dissipating ``P_pi * phi / pi`` for phase ``phi``;
+3. *data-dependent with simulated / measured curves* -- tabulated power-vs-setting
+   data from Lumerical HEAT runs or chip measurements, interpolated at runtime.
+
+All three are expressed here as :class:`PowerResponse` subclasses mapping the encoded
+operand value to instantaneous power in mW.  The energy analyzer evaluates the
+response on the *actual workload values* when running in data-aware mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class PowerResponse:
+    """Maps an encoded operand value to instantaneous device power (mW)."""
+
+    def power_mw(self, value: float) -> float:
+        raise NotImplementedError
+
+    def max_power_mw(self) -> float:
+        """Worst-case power over the valid operating range (data-unaware fallback)."""
+        raise NotImplementedError
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        """Mean power over a batch of encoded values (vectorized when possible)."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return 0.0
+        return float(np.mean([self.power_mw(float(v)) for v in arr.ravel()]))
+
+
+class ConstantPower(PowerResponse):
+    """Data-independent power: the same value regardless of the encoded operand."""
+
+    def __init__(self, power_mw: float) -> None:
+        if power_mw < 0:
+            raise ValueError(f"power must be non-negative, got {power_mw!r}")
+        self._power_mw = power_mw
+
+    def power_mw(self, value: float) -> float:
+        return self._power_mw
+
+    def max_power_mw(self) -> float:
+        return self._power_mw
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        return self._power_mw if len(np.atleast_1d(values)) else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantPower({self._power_mw} mW)"
+
+
+class LinearResponse(PowerResponse):
+    """Analytical linear response ``P = P_max * |value| / value_range``.
+
+    Models devices whose dissipation is proportional to the encoded magnitude, e.g.
+    a thermo-optic phase shifter driven with pulse-width modulation, or current-mode
+    drivers.  ``value`` outside ``[-value_range, value_range]`` is clipped.
+    """
+
+    def __init__(self, max_power_mw: float, value_range: float = 1.0) -> None:
+        if max_power_mw < 0:
+            raise ValueError("max_power_mw must be non-negative")
+        if value_range <= 0:
+            raise ValueError("value_range must be positive")
+        self._max_power_mw = max_power_mw
+        self._value_range = value_range
+
+    def power_mw(self, value: float) -> float:
+        frac = min(abs(value) / self._value_range, 1.0)
+        return self._max_power_mw * frac
+
+    def max_power_mw(self) -> float:
+        return self._max_power_mw
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        arr = np.abs(np.asarray(values, dtype=float))
+        if arr.size == 0:
+            return 0.0
+        frac = np.minimum(arr / self._value_range, 1.0)
+        return float(self._max_power_mw * frac.mean())
+
+
+class PolynomialResponse(PowerResponse):
+    """Analytical polynomial response ``P = sum_k c_k * |value|^k`` clipped at >= 0.
+
+    Covers electro-optic drivers whose power grows with the square of the drive
+    swing (``P ~ C V^2 f``) and other smooth analytical device models.
+    """
+
+    def __init__(self, coefficients: Sequence[float], value_range: float = 1.0) -> None:
+        if not len(coefficients):
+            raise ValueError("need at least one coefficient")
+        if value_range <= 0:
+            raise ValueError("value_range must be positive")
+        self._coeffs = np.asarray(coefficients, dtype=float)
+        self._value_range = value_range
+
+    def _eval(self, magnitude: np.ndarray) -> np.ndarray:
+        powers = np.stack(
+            [magnitude**k for k in range(len(self._coeffs))], axis=0
+        )
+        return np.maximum(np.tensordot(self._coeffs, powers, axes=1), 0.0)
+
+    def power_mw(self, value: float) -> float:
+        mag = min(abs(value) / self._value_range, 1.0)
+        return float(self._eval(np.asarray([mag]))[0])
+
+    def max_power_mw(self) -> float:
+        # The polynomial is evaluated on [0, 1]; sample densely for a robust bound.
+        mags = np.linspace(0.0, 1.0, 257)
+        return float(self._eval(mags).max())
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        arr = np.abs(np.asarray(values, dtype=float)).ravel()
+        if arr.size == 0:
+            return 0.0
+        mags = np.minimum(arr / self._value_range, 1.0)
+        return float(self._eval(mags).mean())
+
+
+class TabulatedResponse(PowerResponse):
+    """Measured / simulated power curve with linear interpolation.
+
+    ``settings`` are the encoded operand values at which the power was characterized
+    (e.g. normalized transmission levels or phase settings); ``powers_mw`` the
+    corresponding measured powers.  Queries outside the characterized range clamp to
+    the endpoints, matching how measured curves are used in practice.
+    """
+
+    def __init__(self, settings: Sequence[float], powers_mw: Sequence[float]) -> None:
+        settings_arr = np.asarray(settings, dtype=float)
+        powers_arr = np.asarray(powers_mw, dtype=float)
+        if settings_arr.ndim != 1 or settings_arr.size < 2:
+            raise ValueError("need at least two characterization points")
+        if settings_arr.shape != powers_arr.shape:
+            raise ValueError("settings and powers must have the same length")
+        if np.any(np.diff(settings_arr) <= 0):
+            raise ValueError("settings must be strictly increasing")
+        if np.any(powers_arr < 0):
+            raise ValueError("measured powers must be non-negative")
+        self._settings = settings_arr
+        self._powers = powers_arr
+
+    def power_mw(self, value: float) -> float:
+        return float(np.interp(value, self._settings, self._powers))
+
+    def max_power_mw(self) -> float:
+        return float(self._powers.max())
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return 0.0
+        return float(np.interp(arr, self._settings, self._powers).mean())
+
+
+class QuadraticPhaseShifterResponse(PowerResponse):
+    """Thermo-optic phase shifter: heater power for a target phase shift.
+
+    A TO phase shifter reaches phase ``phi`` with heater power
+    ``P = P_pi * (phi / pi)`` under the common linear phase-vs-power assumption; the
+    encoded *weight* value, however, maps to phase through the interferometer's
+    transfer function ``w = cos(phi)`` (magnitude encoding) so
+    ``phi = arccos(clip(w))`` and the dissipated power is sub-linear in ``|w|``.
+    This is the "rigorous device power model" used for SCATTER-style weight-static
+    PTCs in Fig. 10(b).
+    """
+
+    def __init__(self, p_pi_mw: float, value_range: float = 1.0) -> None:
+        if p_pi_mw < 0:
+            raise ValueError("p_pi_mw must be non-negative")
+        if value_range <= 0:
+            raise ValueError("value_range must be positive")
+        self._p_pi_mw = p_pi_mw
+        self._value_range = value_range
+
+    def _phase(self, magnitudes: np.ndarray) -> np.ndarray:
+        clipped = np.clip(magnitudes / self._value_range, 0.0, 1.0)
+        return np.arccos(clipped)
+
+    def power_mw(self, value: float) -> float:
+        phase = self._phase(np.asarray([abs(value)]))[0]
+        return float(self._p_pi_mw * phase / np.pi)
+
+    def max_power_mw(self) -> float:
+        # Worst case is a zero-magnitude weight (phase pi/2 .. here arccos(0)=pi/2)
+        # only when restricted to magnitude encoding; the true worst case over the
+        # full phase range is P_pi.
+        return self._p_pi_mw
+
+    def average_power_mw(self, values: Sequence[float]) -> float:
+        arr = np.abs(np.asarray(values, dtype=float)).ravel()
+        if arr.size == 0:
+            return 0.0
+        phases = self._phase(arr)
+        return float((self._p_pi_mw * phases / np.pi).mean())
+
+
+def response_from_callable(fn: Callable[[float], float], max_power_mw: float) -> PowerResponse:
+    """Wrap an arbitrary python callable as a :class:`PowerResponse`.
+
+    Convenience hook for users who want to plug in their own analytical model
+    without subclassing.
+    """
+
+    class _CallableResponse(PowerResponse):
+        def power_mw(self, value: float) -> float:
+            return max(float(fn(value)), 0.0)
+
+        def max_power_mw(self) -> float:
+            return max_power_mw
+
+    return _CallableResponse()

@@ -1,0 +1,22 @@
+"""Automated design-space exploration (the paper's stated future extension).
+
+Sweeps architecture parameters (tiles, cores, core size, wavelengths, bitwidths,
+clock) over a grid, simulates a workload set at every design point, and extracts the
+Pareto frontier over the energy / latency / area objectives.
+"""
+
+from repro.explore.dse import (
+    DesignPoint,
+    DesignSpace,
+    DesignSpaceExplorer,
+    ExplorationResult,
+    pareto_front,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "pareto_front",
+]

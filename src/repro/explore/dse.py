@@ -1,0 +1,184 @@
+"""Grid-based design-space exploration over PTC architecture parameters.
+
+The paper positions SimPhony as the evaluation engine for architecture exploration
+and names automated design-space exploration as a future extension; this module
+provides that loop:
+
+1. :class:`DesignSpace` declares the swept `ArchitectureConfig` fields and their
+   candidate values;
+2. :class:`DesignSpaceExplorer` instantiates a template architecture at every grid
+   point, simulates the workload set, and records energy / latency / area /
+   laser-power metrics as :class:`DesignPoint` records;
+3. :func:`pareto_front` extracts the non-dominated points over any subset of the
+   (minimize-all) objectives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.core.config import SimulationConfig
+from repro.core.simulator import Simulator
+from repro.dataflow.gemm import GEMMWorkload
+from repro.onn.workload import LayerWorkload
+
+ArchBuilder = Callable[..., Architecture]
+WorkloadSet = Sequence[object]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: its configuration values and the measured objectives."""
+
+    parameters: Mapping[str, object]
+    energy_uj: float
+    latency_ns: float
+    area_mm2: float
+    power_w: float
+    laser_power_mw: float
+    energy_per_mac_pj: float
+
+    def objective(self, name: str) -> float:
+        """Look up an objective by name (all objectives are minimized)."""
+        try:
+            return float(getattr(self, name))
+        except AttributeError:
+            raise KeyError(f"unknown objective {name!r}") from None
+
+    def dominates(self, other: "DesignPoint", objectives: Sequence[str]) -> bool:
+        """Pareto dominance: no worse in every objective, strictly better in one."""
+        no_worse = all(self.objective(o) <= other.objective(o) for o in objectives)
+        strictly_better = any(self.objective(o) < other.objective(o) for o in objectives)
+        return no_worse and strictly_better
+
+
+@dataclass
+class DesignSpace:
+    """The grid of `ArchitectureConfig` fields to sweep."""
+
+    parameters: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    _CONFIG_FIELDS = {f.name for f in dataclasses.fields(ArchitectureConfig)}
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise ValueError("design space must sweep at least one parameter")
+        for name, values in self.parameters.items():
+            if name not in self._CONFIG_FIELDS:
+                known = ", ".join(sorted(self._CONFIG_FIELDS))
+                raise KeyError(f"unknown ArchitectureConfig field {name!r}; known: {known}")
+            if not list(values):
+                raise ValueError(f"parameter {name!r} has no candidate values")
+
+    def grid(self) -> Iterable[Dict[str, object]]:
+        """Iterate over every combination of candidate values."""
+        names = sorted(self.parameters)
+        for combo in itertools.product(*(self.parameters[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def size(self) -> int:
+        total = 1
+        for values in self.parameters.values():
+            total *= len(list(values))
+        return total
+
+
+@dataclass
+class ExplorationResult:
+    """All evaluated design points plus convenience queries."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+    objectives: Sequence[str] = ("energy_uj", "latency_ns", "area_mm2")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best(self, objective: str) -> DesignPoint:
+        if not self.points:
+            raise ValueError("no design points evaluated")
+        return min(self.points, key=lambda p: p.objective(objective))
+
+    def pareto_front(self, objectives: Optional[Sequence[str]] = None) -> List[DesignPoint]:
+        return pareto_front(self.points, objectives or self.objectives)
+
+    def as_rows(self) -> List[Sequence[object]]:
+        """Rows suitable for :func:`repro.utils.format.format_table`."""
+        rows = []
+        for point in self.points:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(point.parameters.items()))
+            rows.append(
+                (
+                    params,
+                    point.energy_uj,
+                    point.latency_ns,
+                    point.area_mm2,
+                    point.power_w,
+                    point.energy_per_mac_pj,
+                )
+            )
+        return rows
+
+
+def pareto_front(points: Sequence[DesignPoint], objectives: Sequence[str]) -> List[DesignPoint]:
+    """Non-dominated subset of ``points`` under minimize-all ``objectives``."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    front: List[DesignPoint] = []
+    for candidate in points:
+        if not any(other.dominates(candidate, objectives) for other in points):
+            front.append(candidate)
+    return front
+
+
+class DesignSpaceExplorer:
+    """Sweeps a template architecture over a design space for a fixed workload set."""
+
+    def __init__(
+        self,
+        builder: ArchBuilder,
+        workloads: WorkloadSet,
+        base_config: Optional[ArchitectureConfig] = None,
+        sim_config: Optional[SimulationConfig] = None,
+    ) -> None:
+        workloads = list(workloads)
+        if not workloads:
+            raise ValueError("need at least one workload to explore against")
+        for workload in workloads:
+            if not isinstance(workload, (GEMMWorkload, LayerWorkload)):
+                raise TypeError(
+                    "workloads must be GEMMWorkload or LayerWorkload instances, "
+                    f"got {type(workload).__name__}"
+                )
+        self.builder = builder
+        self.workloads = workloads
+        self.base_config = base_config or ArchitectureConfig()
+        self.sim_config = sim_config or SimulationConfig()
+
+    def _config_for(self, overrides: Mapping[str, object]) -> ArchitectureConfig:
+        return dataclasses.replace(self.base_config, **overrides)
+
+    def evaluate(self, overrides: Mapping[str, object]) -> DesignPoint:
+        """Simulate a single design point and return its objective record."""
+        config = self._config_for(overrides)
+        arch = self.builder(config=config, name=f"{config.name}_dse")
+        simulator = Simulator(arch, self.sim_config)
+        result = simulator.run(self.workloads)
+        link = next(iter(result.link_budgets.values()))
+        return DesignPoint(
+            parameters=dict(overrides),
+            energy_uj=result.total_energy_uj,
+            latency_ns=result.total_time_ns,
+            area_mm2=result.total_area_mm2,
+            power_w=result.total_power_w,
+            laser_power_mw=link.total_laser_electrical_power_mw,
+            energy_per_mac_pj=result.energy_per_mac_pj,
+        )
+
+    def explore(self, space: DesignSpace) -> ExplorationResult:
+        """Evaluate every point in the design space grid."""
+        points = [self.evaluate(overrides) for overrides in space.grid()]
+        return ExplorationResult(points=points)

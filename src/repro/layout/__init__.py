@@ -1,0 +1,15 @@
+"""Layout-aware area estimation: signal-flow-aware floorplanning of photonic circuits."""
+
+from repro.layout.floorplan import (
+    FloorplanResult,
+    Placement,
+    SignalFlowFloorplanner,
+    naive_footprint_sum_um2,
+)
+
+__all__ = [
+    "FloorplanResult",
+    "Placement",
+    "SignalFlowFloorplanner",
+    "naive_footprint_sum_um2",
+]

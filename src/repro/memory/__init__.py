@@ -1,0 +1,27 @@
+"""Memory substrate: CACTI-like analytical models and the four-level hierarchy.
+
+SimPhony uses CACTI only for three quantities -- per-access energy, minimum cycle
+time, and area of on-chip SRAM buffers -- plus a fixed per-bit cost for off-chip
+HBM.  :mod:`repro.memory.cacti` provides analytical models calibrated to published
+CACTI-class numbers with the standard capacity / bus-width / technology-node scaling
+trends, and :mod:`repro.memory.hierarchy` assembles them into the HBM / GLB / LB /
+RF hierarchy with bandwidth-adaptive multi-block GLB sizing.
+"""
+
+from repro.memory.cacti import HBMModel, RegisterFileModel, SRAMModel
+from repro.memory.hierarchy import (
+    MemoryHierarchy,
+    MemoryLevel,
+    MemoryLevelConfig,
+    required_glb_blocks,
+)
+
+__all__ = [
+    "SRAMModel",
+    "HBMModel",
+    "RegisterFileModel",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "MemoryLevelConfig",
+    "required_glb_blocks",
+]

@@ -1,0 +1,225 @@
+"""Analytical SRAM / register-file / HBM models (CACTI substitute).
+
+The paper runs CACTI 7 at 45 nm to obtain SRAM access energy, minimum cycle time and
+area.  Without the external tool we use analytical models anchored to a published
+CACTI-class reference point (a 64 KiB, 64-bit-wide SRAM macro at 45 nm) and apply
+the standard scaling trends:
+
+- dynamic access energy and access time grow roughly with the square root of the
+  macro capacity (bitline/wordline lengths grow with sqrt(bits));
+- area grows linearly with capacity plus a fixed periphery overhead;
+- technology scaling reduces energy ~quadratically, delay ~linearly and area
+  ~quadratically with feature size;
+- banking (multi-block) divides the macro into independent blocks: each block is
+  smaller (faster, lower energy per access) and blocks can be accessed in parallel,
+  which is exactly the property the bandwidth-adaptive GLB sizing exploits.
+
+Absolute values are representative, not sign-off accurate; what matters for the
+reproduction is that the *relative* behaviour (bigger buffers cost more per access,
+more blocks give more bandwidth, HBM is an order of magnitude more expensive per
+bit) matches the reference tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Reference point: 64 KiB, 64-bit bus, 45 nm SRAM macro (CACTI-class numbers).
+_REF_CAPACITY_BYTES = 64 * 1024
+_REF_TECH_NM = 45.0
+_REF_READ_ENERGY_PJ_PER_BIT = 0.30
+_REF_WRITE_ENERGY_PJ_PER_BIT = 0.35
+_REF_ACCESS_TIME_NS = 1.0
+_REF_AREA_MM2 = 0.30
+_REF_LEAKAGE_MW = 5.0
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """Analytical on-chip SRAM buffer model.
+
+    ``capacity_bytes`` is the total macro capacity; ``num_blocks`` partitions it into
+    independently accessible blocks (banks) that multiply the available bandwidth.
+    """
+
+    capacity_bytes: int
+    buswidth_bits: int = 64
+    tech_nm: float = 45.0
+    num_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.buswidth_bits <= 0:
+            raise ValueError("buswidth_bits must be positive")
+        if self.tech_nm <= 0:
+            raise ValueError("tech_nm must be positive")
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+
+    # -- scaling helpers ---------------------------------------------------------
+    @property
+    def block_capacity_bytes(self) -> float:
+        return self.capacity_bytes / self.num_blocks
+
+    def _capacity_scale(self) -> float:
+        """sqrt scaling of per-access cost with the (per-block) capacity."""
+        return math.sqrt(self.block_capacity_bytes / _REF_CAPACITY_BYTES)
+
+    def _tech_energy_scale(self) -> float:
+        return (self.tech_nm / _REF_TECH_NM) ** 2
+
+    def _tech_delay_scale(self) -> float:
+        return self.tech_nm / _REF_TECH_NM
+
+    def _tech_area_scale(self) -> float:
+        return (self.tech_nm / _REF_TECH_NM) ** 2
+
+    # -- energy -------------------------------------------------------------------
+    @property
+    def read_energy_pj_per_bit(self) -> float:
+        return _REF_READ_ENERGY_PJ_PER_BIT * self._capacity_scale() * self._tech_energy_scale()
+
+    @property
+    def write_energy_pj_per_bit(self) -> float:
+        return _REF_WRITE_ENERGY_PJ_PER_BIT * self._capacity_scale() * self._tech_energy_scale()
+
+    def access_energy_pj(self, num_bits: float, write: bool = False) -> float:
+        """Energy to move ``num_bits`` through this buffer (read or write)."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        per_bit = self.write_energy_pj_per_bit if write else self.read_energy_pj_per_bit
+        return per_bit * num_bits
+
+    # -- timing --------------------------------------------------------------------
+    @property
+    def access_time_ns(self) -> float:
+        """Minimum random-access cycle time of one block."""
+        return _REF_ACCESS_TIME_NS * max(self._capacity_scale(), 0.25) * self._tech_delay_scale()
+
+    @property
+    def bandwidth_bits_per_ns(self) -> float:
+        """Peak bandwidth: every block delivers a bus word per access cycle."""
+        return self.num_blocks * self.buswidth_bits / self.access_time_ns
+
+    @property
+    def bandwidth_gb_per_s(self) -> float:
+        """Peak bandwidth in gigabytes per second."""
+        return self.bandwidth_bits_per_ns / 8.0
+
+    # -- area / leakage ---------------------------------------------------------------
+    @property
+    def area_mm2(self) -> float:
+        capacity_ratio = self.capacity_bytes / _REF_CAPACITY_BYTES
+        # Each additional block adds periphery (decoders, sense amps): ~2 % per block.
+        banking_overhead = 1.0 + 0.02 * (self.num_blocks - 1)
+        return _REF_AREA_MM2 * capacity_ratio * banking_overhead * self._tech_area_scale()
+
+    @property
+    def leakage_mw(self) -> float:
+        capacity_ratio = self.capacity_bytes / _REF_CAPACITY_BYTES
+        return _REF_LEAKAGE_MW * capacity_ratio * self._tech_energy_scale()
+
+    def with_blocks(self, num_blocks: int) -> "SRAMModel":
+        """Return the same macro re-banked into ``num_blocks`` blocks."""
+        return SRAMModel(
+            capacity_bytes=self.capacity_bytes,
+            buswidth_bits=self.buswidth_bits,
+            tech_nm=self.tech_nm,
+            num_blocks=num_blocks,
+        )
+
+
+@dataclass(frozen=True)
+class RegisterFileModel:
+    """Small, fast register file feeding the PTC every cycle.
+
+    Modeled as a flat per-bit cost: register files are too small for the SRAM
+    scaling laws to be meaningful.
+    """
+
+    capacity_bytes: int = 1024
+    buswidth_bits: int = 256
+    energy_pj_per_bit: float = 0.02
+    access_time_ns: float = 0.1
+    area_mm2_per_kb: float = 0.002
+    leakage_mw_per_kb: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+    @property
+    def read_energy_pj_per_bit(self) -> float:
+        return self.energy_pj_per_bit
+
+    @property
+    def write_energy_pj_per_bit(self) -> float:
+        return self.energy_pj_per_bit
+
+    def access_energy_pj(self, num_bits: float, write: bool = False) -> float:
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        return self.energy_pj_per_bit * num_bits
+
+    @property
+    def bandwidth_bits_per_ns(self) -> float:
+        return self.buswidth_bits / self.access_time_ns
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_mm2_per_kb * self.capacity_bytes / 1024.0
+
+    @property
+    def leakage_mw(self) -> float:
+        return self.leakage_mw_per_kb * self.capacity_bytes / 1024.0
+
+
+@dataclass(frozen=True)
+class HBMModel:
+    """Off-chip high-bandwidth memory stack.
+
+    A flat per-bit access energy (HBM2-class ~3.9 pJ/bit including PHY) and a fixed
+    peak bandwidth.  The stack sits off-chip, so it contributes no on-chip area.
+    """
+
+    capacity_bytes: int = 8 * 1024 * 1024 * 1024
+    energy_pj_per_bit: float = 3.9
+    bandwidth_gb_per_s: float = 256.0
+    static_power_mw: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.energy_pj_per_bit < 0 or self.bandwidth_gb_per_s <= 0:
+            raise ValueError("invalid HBM parameters")
+
+    @property
+    def read_energy_pj_per_bit(self) -> float:
+        return self.energy_pj_per_bit
+
+    @property
+    def write_energy_pj_per_bit(self) -> float:
+        return self.energy_pj_per_bit
+
+    def access_energy_pj(self, num_bits: float, write: bool = False) -> float:
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        return self.energy_pj_per_bit * num_bits
+
+    @property
+    def bandwidth_bits_per_ns(self) -> float:
+        return self.bandwidth_gb_per_s * 8.0
+
+    @property
+    def access_time_ns(self) -> float:
+        return 100.0  # first-access latency; bandwidth dominates for streaming
+
+    @property
+    def area_mm2(self) -> float:
+        return 0.0
+
+    @property
+    def leakage_mw(self) -> float:
+        return self.static_power_mw

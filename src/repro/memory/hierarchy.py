@@ -1,0 +1,217 @@
+"""Bandwidth-adaptive four-level memory hierarchy (HBM / GLB / LB / RF).
+
+Each level stores operands A, B and the output in progressively smaller sizes: the
+entire model at the HBM level, a single layer at the GLB level, the processing
+matrix dimensions at the LB level, and one cycle's worth of data at the RF level.
+The GLB is a multi-block SRAM whose block count is searched automatically so its
+bandwidth meets the architecture's per-cycle demand -- the paper's
+``#blocks = ceil(tau_GLB * dBW / (b_bus * 8))`` rule -- so the computing cores are
+never memory bottlenecked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Union
+
+from repro.memory.cacti import HBMModel, RegisterFileModel, SRAMModel
+
+MemoryModel = Union[SRAMModel, RegisterFileModel, HBMModel]
+
+
+class MemoryLevel(str, Enum):
+    """The four levels of the on/off-chip memory hierarchy."""
+
+    HBM = "hbm"
+    GLB = "glb"
+    LB = "lb"
+    RF = "rf"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class MemoryLevelConfig:
+    """User-facing knobs for one memory level."""
+
+    capacity_bytes: int
+    buswidth_bits: int = 64
+    tech_nm: float = 45.0
+    num_blocks: int = 1
+
+
+def required_glb_blocks(
+    demand_bytes_per_ns: float,
+    glb_cycle_ns: float,
+    buswidth_bits: int,
+) -> int:
+    """Minimum number of GLB blocks meeting a bandwidth demand.
+
+    Implements ``#blocks = ceil(tau_GLB * dBW / (b_bus / 8))``: each block delivers
+    one bus word (``buswidth_bits / 8`` bytes) per GLB cycle (``tau_GLB``), so enough
+    blocks must be provisioned to cover the per-cycle byte demand.
+    """
+    if demand_bytes_per_ns < 0:
+        raise ValueError("bandwidth demand must be non-negative")
+    if glb_cycle_ns <= 0 or buswidth_bits <= 0:
+        raise ValueError("glb_cycle_ns and buswidth_bits must be positive")
+    bytes_per_block_per_cycle = buswidth_bits / 8.0
+    demand_bytes_per_cycle = demand_bytes_per_ns * glb_cycle_ns
+    return max(1, int(math.ceil(demand_bytes_per_cycle / bytes_per_block_per_cycle)))
+
+
+@dataclass
+class MemoryHierarchy:
+    """The assembled HBM / GLB / LB / RF hierarchy."""
+
+    levels: Dict[MemoryLevel, MemoryModel] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        glb_bytes: int = 2 * 1024 * 1024,
+        lb_bytes: int = 64 * 1024,
+        rf_bytes: int = 2 * 1024,
+        buswidth_bits: int = 256,
+        tech_nm: float = 45.0,
+        glb_blocks: int = 1,
+        hbm: Optional[HBMModel] = None,
+    ) -> "MemoryHierarchy":
+        """Build a hierarchy with explicit capacities (45 nm CACTI-class SRAM)."""
+        return cls(
+            levels={
+                MemoryLevel.HBM: hbm or HBMModel(),
+                MemoryLevel.GLB: SRAMModel(
+                    capacity_bytes=glb_bytes,
+                    buswidth_bits=buswidth_bits,
+                    tech_nm=tech_nm,
+                    num_blocks=glb_blocks,
+                ),
+                MemoryLevel.LB: SRAMModel(
+                    capacity_bytes=lb_bytes,
+                    buswidth_bits=buswidth_bits,
+                    tech_nm=tech_nm,
+                ),
+                MemoryLevel.RF: RegisterFileModel(capacity_bytes=rf_bytes),
+            }
+        )
+
+    @classmethod
+    def for_workload(
+        cls,
+        max_layer_bytes: float,
+        tile_bytes: float,
+        cycle_bytes: float,
+        buswidth_bits: int = 256,
+        tech_nm: float = 45.0,
+        hbm: Optional[HBMModel] = None,
+    ) -> "MemoryHierarchy":
+        """Size the on-chip levels from the workload, per the paper's sizing rule.
+
+        GLB holds one layer, LB the currently processed matrix partitions, RF one
+        cycle's operands.  Capacities are rounded up to powers of two (as a real
+        SRAM compiler would) with a small floor to keep the models in a sane range.
+        """
+
+        def _round_pow2(value: float, floor: int) -> int:
+            target = max(int(math.ceil(value)), floor)
+            return 1 << int(math.ceil(math.log2(target)))
+
+        glb_bytes = _round_pow2(max_layer_bytes, 64 * 1024)
+        lb_bytes = _round_pow2(tile_bytes, 4 * 1024)
+        rf_bytes = _round_pow2(cycle_bytes, 256)
+        return cls.default(
+            glb_bytes=glb_bytes,
+            lb_bytes=lb_bytes,
+            rf_bytes=rf_bytes,
+            buswidth_bits=buswidth_bits,
+            tech_nm=tech_nm,
+            hbm=hbm,
+        )
+
+    # -- accessors -----------------------------------------------------------------
+    def level(self, level: MemoryLevel) -> MemoryModel:
+        try:
+            return self.levels[level]
+        except KeyError:
+            raise KeyError(f"memory hierarchy has no level {level!r}") from None
+
+    @property
+    def glb(self) -> MemoryModel:
+        return self.level(MemoryLevel.GLB)
+
+    @property
+    def hbm(self) -> MemoryModel:
+        return self.level(MemoryLevel.HBM)
+
+    # -- bandwidth adaptation ----------------------------------------------------------
+    def adapt_glb_bandwidth(self, demand_bytes_per_ns: float) -> int:
+        """Re-bank the GLB so its bandwidth meets ``demand_bytes_per_ns``.
+
+        Returns the chosen block count.  The search uses the paper's closed form and
+        then verifies against the re-banked macro's actual bandwidth (the block
+        cycle time shrinks as blocks get smaller, so the closed form is a safe
+        upper bound on the required count).
+        """
+        glb = self.levels[MemoryLevel.GLB]
+        if not isinstance(glb, SRAMModel):
+            raise TypeError("GLB must be an SRAMModel to adapt its banking")
+        blocks = required_glb_blocks(
+            demand_bytes_per_ns, glb.access_time_ns, glb.buswidth_bits
+        )
+        rebanked = glb.with_blocks(blocks)
+        # Shrinking blocks speeds them up; trim excess blocks while demand is met.
+        while blocks > 1:
+            candidate = glb.with_blocks(blocks - 1)
+            if candidate.bandwidth_bits_per_ns / 8.0 >= demand_bytes_per_ns:
+                blocks -= 1
+                rebanked = candidate
+            else:
+                break
+        self.levels[MemoryLevel.GLB] = rebanked
+        return blocks
+
+    def meets_bandwidth(self, level: MemoryLevel, demand_bytes_per_ns: float) -> bool:
+        """Check whether a level's peak bandwidth covers the per-ns byte demand."""
+        return self.level(level).bandwidth_bits_per_ns / 8.0 >= demand_bytes_per_ns
+
+    # -- aggregate metrics ---------------------------------------------------------------
+    def access_energy_pj(self, level: MemoryLevel, num_bits: float, write: bool = False) -> float:
+        return self.level(level).access_energy_pj(num_bits, write=write)
+
+    def onchip_area_mm2(self) -> float:
+        """Total on-chip SRAM area (HBM is off-chip and excluded)."""
+        return sum(
+            model.area_mm2
+            for lvl, model in self.levels.items()
+            if lvl is not MemoryLevel.HBM
+        )
+
+    def leakage_mw(self) -> float:
+        return sum(model.leakage_mw for model in self.levels.values())
+
+    def onchip_leakage_mw(self) -> float:
+        """Leakage of the on-chip buffers only (HBM refresh is not attributed here)."""
+        return sum(
+            model.leakage_mw
+            for lvl, model in self.levels.items()
+            if lvl is not MemoryLevel.HBM
+        )
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Summary dictionary used in reports and tests."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for lvl, model in self.levels.items():
+            summary[lvl.value] = {
+                "capacity_bytes": float(model.capacity_bytes),
+                "read_energy_pj_per_bit": float(model.read_energy_pj_per_bit),
+                "bandwidth_gb_per_s": float(model.bandwidth_bits_per_ns / 8.0),
+                "area_mm2": float(model.area_mm2),
+            }
+            if isinstance(model, SRAMModel):
+                summary[lvl.value]["num_blocks"] = float(model.num_blocks)
+        return summary

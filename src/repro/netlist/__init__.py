@@ -1,0 +1,22 @@
+"""Circuit-level representation: directed 2-pin netlists, weighted DAGs, scaling rules.
+
+Photonic tensor cores are described as a *node* netlist (the minimal dot-product
+building block) whose instances are replicated across the architecture according to
+symbolic :class:`~repro.netlist.scaling.ScalingRule` expressions.  The netlist is
+lowered to a weighted directed acyclic graph whose edge weights carry insertion
+loss, which drives both link-budget analysis (longest path) and the signal-flow-aware
+floorplanner (topological levels).
+"""
+
+from repro.netlist.netlist import Instance, Net, Netlist
+from repro.netlist.dag import CircuitDAG, CriticalPath
+from repro.netlist.scaling import ScalingRule
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "CircuitDAG",
+    "CriticalPath",
+    "ScalingRule",
+]

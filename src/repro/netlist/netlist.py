@@ -1,0 +1,225 @@
+"""Directed 2-pin netlist for photonic circuit topologies.
+
+Unlike electrical netlists with undirected multi-pin nets, photonic circuits need
+*directed* 2-pin nets that capture the direction of optical signal flow from the
+laser toward the photodetectors.  A :class:`Netlist` holds named :class:`Instance`
+records (each referring to a device-library entry by name) and the directed nets
+between them; it validates acyclicity and provides topological ordering, which both
+the link-budget analyzer and the floorplanner rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A device instance in a circuit netlist.
+
+    ``device`` names an entry in the :class:`~repro.devices.library.DeviceLibrary`;
+    ``role`` is a free-form tag (``"input_encoder"``, ``"detector"``, ...) used by
+    analyzers to decide activity and data dependence.
+    """
+
+    name: str
+    device: str
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instance name must not be empty")
+        if not self.device:
+            raise ValueError(f"instance {self.name!r} must reference a device")
+
+
+@dataclass(frozen=True)
+class Net:
+    """A directed 2-pin net: optical (or electrical) signal flows ``src`` -> ``dst``."""
+
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"net may not connect instance {self.src!r} to itself")
+
+
+@dataclass
+class Netlist:
+    """A named collection of instances and directed 2-pin nets."""
+
+    name: str = "netlist"
+    _instances: Dict[str, Instance] = field(default_factory=dict)
+    _nets: List[Net] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+    def add_instance(self, name: str, device: str, role: str = "") -> Instance:
+        """Add a device instance; raises if the name is already used."""
+        if name in self._instances:
+            raise ValueError(f"instance {name!r} already present in netlist {self.name!r}")
+        inst = Instance(name=name, device=device, role=role)
+        self._instances[name] = inst
+        return inst
+
+    def connect(self, src: str, dst: str) -> Net:
+        """Add a directed 2-pin net from ``src`` to ``dst`` (both must exist)."""
+        for endpoint in (src, dst):
+            if endpoint not in self._instances:
+                raise KeyError(
+                    f"net endpoint {endpoint!r} is not an instance of netlist {self.name!r}"
+                )
+        net = Net(src=src, dst=dst)
+        self._nets.append(net)
+        return net
+
+    def chain(self, *names: str) -> None:
+        """Convenience: connect the given instances in a linear chain."""
+        if len(names) < 2:
+            raise ValueError("chain needs at least two instance names")
+        for src, dst in zip(names, names[1:]):
+            self.connect(src, dst)
+
+    # -- access -----------------------------------------------------------------
+    @property
+    def instances(self) -> Dict[str, Instance]:
+        return dict(self._instances)
+
+    @property
+    def nets(self) -> List[Net]:
+        return list(self._nets)
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown instance {name!r} in netlist {self.name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def device_of(self, name: str) -> str:
+        return self.instance(name).device
+
+    # -- graph structure ----------------------------------------------------------
+    def successors(self, name: str) -> List[str]:
+        return [net.dst for net in self._nets if net.src == name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return [net.src for net in self._nets if net.dst == name]
+
+    def sources(self) -> List[str]:
+        """Instances with no incoming net (light sources / inputs)."""
+        targets = {net.dst for net in self._nets}
+        return [name for name in self._instances if name not in targets]
+
+    def sinks(self) -> List[str]:
+        """Instances with no outgoing net (detectors / outputs)."""
+        origins = {net.src for net in self._nets}
+        return [name for name in self._instances if name not in origins]
+
+    def topological_order(self) -> List[str]:
+        """Kahn topological sort; raises :class:`ValueError` if the netlist has a cycle.
+
+        The relative order of instances added earlier is preserved among ties so the
+        floorplanner output is deterministic.
+        """
+        in_degree = {name: 0 for name in self._instances}
+        for net in self._nets:
+            in_degree[net.dst] += 1
+        insertion_rank = {name: i for i, name in enumerate(self._instances)}
+        ready = sorted(
+            (name for name, deg in in_degree.items() if deg == 0),
+            key=insertion_rank.__getitem__,
+        )
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            newly_ready = []
+            for net in self._nets:
+                if net.src == current:
+                    in_degree[net.dst] -= 1
+                    if in_degree[net.dst] == 0:
+                        newly_ready.append(net.dst)
+            ready.extend(sorted(set(newly_ready), key=insertion_rank.__getitem__))
+            ready.sort(key=insertion_rank.__getitem__)
+        if len(order) != len(self._instances):
+            unplaced = sorted(set(self._instances) - set(order))
+            raise ValueError(
+                f"netlist {self.name!r} contains a cycle involving {unplaced}"
+            )
+        return order
+
+    def topological_levels(self) -> List[List[str]]:
+        """Group instances by longest distance from any source (ASAP levels).
+
+        Level 0 holds the sources; an instance's level is one more than the maximum
+        level of its predecessors.  Used by the signal-flow-aware floorplanner.
+        """
+        order = self.topological_order()
+        level: Dict[str, int] = {}
+        for name in order:
+            preds = self.predecessors(name)
+            level[name] = 0 if not preds else max(level[p] for p in preds) + 1
+        num_levels = max(level.values(), default=-1) + 1
+        groups: List[List[str]] = [[] for _ in range(num_levels)]
+        for name in order:
+            groups[level[name]].append(name)
+        return groups
+
+    def validate(self, device_names: Optional[Iterable[str]] = None) -> None:
+        """Check structural invariants; optionally check devices exist in a library."""
+        self.topological_order()  # raises on cycles
+        if device_names is not None:
+            known: Set[str] = set(device_names)
+            for inst in self._instances.values():
+                if inst.device not in known:
+                    raise KeyError(
+                        f"instance {inst.name!r} references unknown device {inst.device!r}"
+                    )
+
+    # -- composition -------------------------------------------------------------
+    def merge(self, other: "Netlist", prefix: str) -> Dict[str, str]:
+        """Copy ``other``'s instances/nets into this netlist under ``prefix``.
+
+        Returns the mapping from the other netlist's instance names to the new
+        prefixed names, so callers can stitch inter-block connections afterwards.
+        This is the mechanism for hierarchical node -> core -> tile construction.
+        """
+        if not prefix:
+            raise ValueError("prefix must not be empty")
+        mapping: Dict[str, str] = {}
+        for name, inst in other._instances.items():
+            new_name = f"{prefix}.{name}"
+            self.add_instance(new_name, inst.device, role=inst.role)
+            mapping[name] = new_name
+        for net in other._nets:
+            self.connect(mapping[net.src], mapping[net.dst])
+        return mapping
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return [(net.src, net.dst) for net in self._nets]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist(name={self.name!r}, instances={len(self._instances)}, "
+            f"nets={len(self._nets)})"
+        )
+
+
+def linear_netlist(name: str, devices: Sequence[Tuple[str, str]]) -> Netlist:
+    """Build a simple linear chain netlist from ``[(instance_name, device), ...]``."""
+    netlist = Netlist(name=name)
+    for inst_name, device in devices:
+        netlist.add_instance(inst_name, device)
+    names = [inst_name for inst_name, _ in devices]
+    if len(names) >= 2:
+        netlist.chain(*names)
+    return netlist

@@ -1,0 +1,94 @@
+"""Digital-to-ONN model conversion.
+
+Mirrors SimPhony's TorchONN interface at the granularity the simulator needs: each
+compute layer (``Conv2d``, ``Linear``, attention projections) is converted in place
+to its "optical" version by
+
+- quantizing its weights to the target DAC/ADC resolution,
+- attaching a magnitude pruning mask (optional co-design),
+- recording the operand bitwidths the hardware will use, and
+- assigning the layer to a PTC type (``"tempo"``, ``"scatter"``, ``"mzi_mesh"``, ...)
+  based on its layer type -- the hook used by heterogeneous mapping (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.onn.layers import Conv2d, Linear, Module, MultiHeadAttention
+from repro.onn.prune import magnitude_prune_mask
+from repro.onn.quantize import quantize_uniform
+
+
+@dataclass
+class ONNConversionConfig:
+    """Settings for the digital-to-ONN conversion pass."""
+
+    input_bits: int = 8
+    weight_bits: int = 8
+    output_bits: int = 8
+    prune_ratio: float = 0.0
+    quantize_weights: bool = True
+    #: layer_type -> PTC/sub-architecture name, e.g. {"conv": "scatter", "linear": "mzi_mesh"}
+    ptc_assignment: Dict[str, str] = field(default_factory=dict)
+    default_ptc: str = "tempo"
+
+    def __post_init__(self) -> None:
+        for label, bits in (
+            ("input_bits", self.input_bits),
+            ("weight_bits", self.weight_bits),
+            ("output_bits", self.output_bits),
+        ):
+            if bits < 1:
+                raise ValueError(f"{label} must be >= 1, got {bits}")
+        if not 0.0 <= self.prune_ratio < 1.0:
+            raise ValueError(f"prune_ratio must be in [0, 1), got {self.prune_ratio}")
+
+    def ptc_for(self, layer_type: str) -> str:
+        return self.ptc_assignment.get(layer_type, self.default_ptc)
+
+
+def _convert_weighted_layer(layer, layer_type: str, config: ONNConversionConfig) -> None:
+    layer.input_bits = config.input_bits
+    layer.weight_bits = config.weight_bits
+    layer.output_bits = config.output_bits
+    layer.ptc_type = config.ptc_for(layer_type)
+    if config.quantize_weights:
+        layer.weight = quantize_uniform(layer.weight, config.weight_bits)
+    if config.prune_ratio > 0.0:
+        layer.pruning_mask = magnitude_prune_mask(layer.weight, config.prune_ratio)
+
+
+def convert_to_onn(model: Module, config: Optional[ONNConversionConfig] = None) -> Module:
+    """Convert a digital model to its ONN version in place and return it.
+
+    Conversion is idempotent: re-running it with the same config re-quantizes the
+    already quantized weights onto the same grid.
+    """
+    config = config or ONNConversionConfig()
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            _convert_weighted_layer(module, "conv", config)
+        elif isinstance(module, MultiHeadAttention):
+            module.input_bits = config.input_bits
+            module.weight_bits = config.weight_bits
+            module.output_bits = config.output_bits
+            # The four projection Linears are converted as attention sub-layers so
+            # a dedicated "attention" assignment (dynamic PTC) wins over "linear".
+            for proj in module.children():
+                _convert_weighted_layer(proj, "attention", config)
+        elif isinstance(module, Linear):
+            if getattr(module, "ptc_type", None) is None:
+                _convert_weighted_layer(module, "linear", config)
+    return model
+
+
+def ptc_assignment_of(model: Module) -> Dict[str, str]:
+    """Collect the layer-name -> PTC-type assignment recorded during conversion."""
+    assignment: Dict[str, str] = {}
+    for module in model.modules():
+        ptc = getattr(module, "ptc_type", None)
+        if ptc is not None:
+            assignment[module.name] = ptc
+    return assignment

@@ -1,0 +1,474 @@
+"""Numpy neural-network layers with GEMM workload extraction.
+
+Layers implement two things:
+
+- ``forward(x)``: a plain numpy inference pass, so realistic activation values can
+  flow into the data-aware energy analysis;
+- ``extract_gemms(x)``: the list of :class:`~repro.dataflow.gemm.GEMMWorkload`
+  records the layer contributes (empty for activations / pooling / normalization,
+  which the paper offloads to electrical processors), together with the layer
+  output so extraction can proceed through the network.
+
+Shapes follow the usual conventions: images are ``(channels, height, width)`` (a
+single sample -- the paper evaluates single-image inference), token sequences are
+``(tokens, features)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataflow.gemm import GEMMWorkload
+
+
+class Module:
+    """Base class for all layers.  Mirrors a minimal subset of the torch.nn API."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or self.__class__.__name__.lower()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        """Default: no GEMM contribution; pass activations through."""
+        return [], self.forward(x)
+
+    def children(self) -> Iterable["Module"]:
+        return []
+
+    def modules(self) -> Iterable["Module"]:
+        """This module followed by all descendants (depth first)."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return sum(child.num_parameters() for child in self.children())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class Sequential(Module):
+    """A linear container of layers."""
+
+    def __init__(self, *layers: Module, name: str = "sequential") -> None:
+        super().__init__(name=name)
+        self.layers: List[Module] = []
+        for idx, layer in enumerate(layers):
+            if not isinstance(layer, Module):
+                raise TypeError(f"Sequential expects Module instances, got {type(layer)}")
+            if layer.name == layer.__class__.__name__.lower():
+                layer.name = f"{name}.{idx}_{layer.__class__.__name__.lower()}"
+            self.layers.append(layer)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def children(self) -> Iterable[Module]:
+        return list(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        gemms: List[GEMMWorkload] = []
+        for layer in self.layers:
+            layer_gemms, x = layer.extract_gemms(x)
+            gemms.extend(layer_gemms)
+        return gemms, x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W^T + b`` (weights shaped ``(out, in)``)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / math.sqrt(in_features)
+        self.weight = rng.uniform(-scale, scale, size=(out_features, in_features))
+        self.bias = np.zeros(out_features) if bias else None
+        # Populated by the ONN conversion pass.
+        self.input_bits = 8
+        self.weight_bits = 8
+        self.output_bits = 8
+        self.pruning_mask: Optional[np.ndarray] = None
+        self.ptc_type: Optional[str] = None
+
+    def num_parameters(self) -> int:
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return n
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        squeeze = False
+        if x.ndim == 1:
+            x = x[None, :]
+            squeeze = True
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        weight = self.effective_weight()
+        y = x @ weight.T
+        if self.bias is not None:
+            y = y + self.bias
+        return y[0] if squeeze else y
+
+    def effective_weight(self) -> np.ndarray:
+        if self.pruning_mask is None:
+            return self.weight
+        return np.where(self.pruning_mask, self.weight, 0.0)
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        flat = x.reshape(-1, x.shape[-1]) if x.ndim > 1 else x[None, :]
+        weight = self.effective_weight()
+        gemm = GEMMWorkload(
+            name=self.name,
+            m=flat.shape[0],
+            n=self.out_features,
+            k=self.in_features,
+            input_bits=self.input_bits,
+            weight_bits=self.weight_bits,
+            output_bits=self.output_bits,
+            layer_type="linear",
+            weight_values=weight.T.copy(),
+            input_values=flat.copy(),
+            pruning_mask=None if self.pruning_mask is None else self.pruning_mask.T.copy(),
+            weight_static=True,
+        )
+        return [gemm], self.forward(x)
+
+
+class Conv2d(Module):
+    """2D convolution on a single ``(C, H, W)`` sample, lowered to GEMM via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if min(in_channels, out_channels, kernel_size) < 1:
+            raise ValueError("channels and kernel size must be positive")
+        if stride < 1 or padding < 0:
+            raise ValueError("invalid stride/padding")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = 1.0 / math.sqrt(fan_in)
+        self.weight = rng.uniform(
+            -scale, scale, size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels) if bias else None
+        self.input_bits = 8
+        self.weight_bits = 8
+        self.output_bits = 8
+        self.pruning_mask: Optional[np.ndarray] = None
+        self.ptc_type: Optional[str] = None
+
+    def num_parameters(self) -> int:
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return n
+
+    def output_hw(self, height: int, width: int) -> Tuple[int, int]:
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ValueError(
+                f"{self.name}: input {height}x{width} too small for kernel "
+                f"{self.kernel_size}, stride {self.stride}, padding {self.padding}"
+            )
+        return out_h, out_w
+
+    def _im2col(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        channels, height, width = x.shape
+        out_h, out_w = self.output_hw(height, width)
+        padded = np.pad(
+            x, ((0, 0), (self.padding, self.padding), (self.padding, self.padding))
+        )
+        k = self.kernel_size
+        cols = np.empty((out_h * out_w, channels * k * k))
+        idx = 0
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = padded[
+                    :,
+                    i * self.stride : i * self.stride + k,
+                    j * self.stride : j * self.stride + k,
+                ]
+                cols[idx] = patch.ravel()
+                idx += 1
+        return cols, (out_h, out_w)
+
+    def effective_weight(self) -> np.ndarray:
+        if self.pruning_mask is None:
+            return self.weight
+        return np.where(self.pruning_mask, self.weight, 0.0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[0] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (C={self.in_channels}, H, W) input, got {x.shape}"
+            )
+        cols, (out_h, out_w) = self._im2col(x)
+        weight = self.effective_weight().reshape(self.out_channels, -1)
+        out = cols @ weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out.T.reshape(self.out_channels, out_h, out_w)
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        cols, _ = self._im2col(x)
+        weight = self.effective_weight().reshape(self.out_channels, -1)
+        mask = (
+            None
+            if self.pruning_mask is None
+            else self.pruning_mask.reshape(self.out_channels, -1).T.copy()
+        )
+        gemm = GEMMWorkload(
+            name=self.name,
+            m=cols.shape[0],
+            n=self.out_channels,
+            k=cols.shape[1],
+            input_bits=self.input_bits,
+            weight_bits=self.weight_bits,
+            output_bits=self.output_bits,
+            layer_type="conv",
+            weight_values=weight.T.copy(),
+            input_values=cols,
+            pruning_mask=mask,
+            weight_static=True,
+        )
+        return [gemm], self.forward(x)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention over a ``(tokens, embed_dim)`` sequence.
+
+    Contributes the Q/K/V/output projections plus the two *dynamic* matmuls
+    (``Q K^T`` and ``A V``) whose operands both change every inference -- the
+    workloads that only dynamically-reconfigurable PTCs can serve without a
+    reconfiguration penalty.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        name: str = "",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        rng = rng or np.random.default_rng(0)
+        self.w_q = Linear(embed_dim, embed_dim, name=f"{name or 'attn'}.q_proj", rng=rng)
+        self.w_k = Linear(embed_dim, embed_dim, name=f"{name or 'attn'}.k_proj", rng=rng)
+        self.w_v = Linear(embed_dim, embed_dim, name=f"{name or 'attn'}.v_proj", rng=rng)
+        self.w_o = Linear(embed_dim, embed_dim, name=f"{name or 'attn'}.out_proj", rng=rng)
+        self.input_bits = 8
+        self.weight_bits = 8
+        self.output_bits = 8
+
+    def children(self) -> Iterable[Module]:
+        return [self.w_q, self.w_k, self.w_v, self.w_o]
+
+    @staticmethod
+    def _softmax(x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def _heads(self, x: np.ndarray) -> np.ndarray:
+        tokens = x.shape[0]
+        return x.reshape(tokens, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.embed_dim:
+            raise ValueError(
+                f"{self.name}: expected (tokens, {self.embed_dim}) input, got {x.shape}"
+            )
+        q, k, v = self.w_q(x), self.w_k(x), self.w_v(x)
+        qh, kh, vh = self._heads(q), self._heads(k), self._heads(v)
+        scores = qh @ kh.transpose(0, 2, 1) / math.sqrt(self.head_dim)
+        attn = self._softmax(scores)
+        context = attn @ vh
+        tokens = x.shape[0]
+        merged = context.transpose(1, 0, 2).reshape(tokens, self.embed_dim)
+        return self.w_o(merged)
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        x = np.asarray(x, dtype=float)
+        tokens = x.shape[0]
+        gemms: List[GEMMWorkload] = []
+        for proj in (self.w_q, self.w_k, self.w_v):
+            proj_gemms, _ = proj.extract_gemms(x)
+            gemms.extend(proj_gemms)
+        q, k, v = self.w_q(x), self.w_k(x), self.w_v(x)
+        qh, kh, vh = self._heads(q), self._heads(k), self._heads(v)
+        # Dynamic attention matmuls (one GEMM per head, operands both data dependent).
+        for head in range(self.num_heads):
+            gemms.append(
+                GEMMWorkload(
+                    name=f"{self.name}.qk_head{head}",
+                    m=tokens,
+                    n=tokens,
+                    k=self.head_dim,
+                    input_bits=self.input_bits,
+                    weight_bits=self.input_bits,
+                    output_bits=self.output_bits,
+                    layer_type="attention",
+                    weight_values=kh[head].T.copy(),
+                    input_values=qh[head].copy(),
+                    weight_static=False,
+                )
+            )
+        scores = qh @ kh.transpose(0, 2, 1) / math.sqrt(self.head_dim)
+        attn = self._softmax(scores)
+        for head in range(self.num_heads):
+            gemms.append(
+                GEMMWorkload(
+                    name=f"{self.name}.av_head{head}",
+                    m=tokens,
+                    n=self.head_dim,
+                    k=tokens,
+                    input_bits=self.input_bits,
+                    weight_bits=self.input_bits,
+                    output_bits=self.output_bits,
+                    layer_type="attention",
+                    weight_values=vh[head].copy(),
+                    input_values=attn[head].copy(),
+                    weight_static=False,
+                )
+            )
+        context = (attn @ vh).transpose(1, 0, 2).reshape(tokens, self.embed_dim)
+        out_gemms, out = self.w_o.extract_gemms(context)
+        gemms.extend(out_gemms)
+        return gemms, out
+
+
+class ReLU(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+class GELU(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return 0.5 * x * (1.0 + np.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
+
+
+class Flatten(Module):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float).ravel()
+
+
+class MaxPool2d(Module):
+    """Max pooling on a ``(C, H, W)`` sample with square window and stride = window."""
+
+    def __init__(self, kernel_size: int, name: str = "") -> None:
+        super().__init__(name=name)
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        channels, height, width = x.shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        trimmed = x[:, : out_h * k, : out_w * k]
+        reshaped = trimmed.reshape(channels, out_h, k, out_w, k)
+        return reshaped.max(axis=(2, 4))
+
+
+class AvgPool2d(MaxPool2d):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        channels, height, width = x.shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        trimmed = x[:, : out_h * k, : out_w * k]
+        reshaped = trimmed.reshape(channels, out_h, k, out_w, k)
+        return reshaped.mean(axis=(2, 4))
+
+
+class BatchNorm2d(Module):
+    """Inference-mode batch normalization: a per-channel affine transform."""
+
+    def __init__(self, num_channels: int, name: str = "") -> None:
+        super().__init__(name=name)
+        self.num_channels = num_channels
+        self.scale = np.ones(num_channels)
+        self.shift = np.zeros(num_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.num_channels:
+            raise ValueError(f"{self.name}: expected {self.num_channels} channels")
+        return x * self.scale[:, None, None] + self.shift[:, None, None]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5, name: str = "") -> None:
+        super().__init__(name=name)
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.scale = np.ones(normalized_dim)
+        self.shift = np.zeros(normalized_dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mean) / np.sqrt(var + self.eps) * self.scale + self.shift

@@ -1,0 +1,12 @@
+"""Evaluation models: VGG-8 (CIFAR-10), a BERT-Base-class vision transformer, MLPs."""
+
+from repro.onn.models.vgg import build_vgg8_cifar10
+from repro.onn.models.transformer import TransformerEncoder, build_bert_base_image
+from repro.onn.models.mlp import build_mlp
+
+__all__ = [
+    "build_vgg8_cifar10",
+    "TransformerEncoder",
+    "build_bert_base_image",
+    "build_mlp",
+]

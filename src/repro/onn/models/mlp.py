@@ -1,0 +1,27 @@
+"""Simple multi-layer perceptrons for quickstarts and tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.onn.layers import Linear, ReLU, Sequential
+
+
+def build_mlp(
+    layer_sizes: Sequence[int] = (784, 256, 128, 10),
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a ReLU MLP with the given layer widths (at least input and output)."""
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least an input and an output size")
+    if any(size < 1 for size in layer_sizes):
+        raise ValueError("all layer sizes must be positive")
+    rng = rng or np.random.default_rng(7)
+    layers = []
+    for idx, (fan_in, fan_out) in enumerate(zip(layer_sizes, layer_sizes[1:])):
+        layers.append(Linear(fan_in, fan_out, name=f"fc{idx + 1}", rng=rng))
+        if idx < len(layer_sizes) - 2:
+            layers.append(ReLU(name=f"relu{idx + 1}"))
+    return Sequential(*layers, name="mlp")

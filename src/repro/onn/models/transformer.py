@@ -1,0 +1,180 @@
+"""BERT-Base-class transformer encoder over image patches.
+
+The paper validates against Lightening-Transformer by simulating "BERT-Base with a
+single 224x224 ImageNet image", i.e. a vision-transformer-style pipeline: the image
+is split into 16x16 patches, linearly embedded to the 768-dimensional hidden size,
+and processed by 12 encoder blocks of 12-head self-attention plus a 3072-wide MLP --
+the BERT-Base parameterization.  ``num_layers`` / ``embed_dim`` / image size are
+configurable so tests can build small instances with identical structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataflow.gemm import GEMMWorkload
+from repro.onn.layers import (
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    Sequential,
+)
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm transformer encoder block: attention + MLP with residual connections."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        mlp_dim: int,
+        name: str = "block",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name=name)
+        rng = rng or np.random.default_rng(0)
+        self.norm1 = LayerNorm(embed_dim, name=f"{name}.norm1")
+        self.attention = MultiHeadAttention(embed_dim, num_heads, name=f"{name}.attn", rng=rng)
+        self.norm2 = LayerNorm(embed_dim, name=f"{name}.norm2")
+        self.mlp = Sequential(
+            Linear(embed_dim, mlp_dim, name=f"{name}.mlp.fc1", rng=rng),
+            GELU(name=f"{name}.mlp.gelu"),
+            Linear(mlp_dim, embed_dim, name=f"{name}.mlp.fc2", rng=rng),
+            name=f"{name}.mlp",
+        )
+
+    def children(self):
+        return [self.norm1, self.attention, self.norm2, self.mlp]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attention(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+    def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        gemms: List[GEMMWorkload] = []
+        attn_gemms, attn_out = self.attention.extract_gemms(self.norm1(x))
+        gemms.extend(attn_gemms)
+        x = x + attn_out
+        mlp_gemms, mlp_out = self.mlp.extract_gemms(self.norm2(x))
+        gemms.extend(mlp_gemms)
+        return gemms, x + mlp_out
+
+
+class TransformerEncoder(Module):
+    """Patch embedding + positional embedding + a stack of encoder blocks + head."""
+
+    def __init__(
+        self,
+        image_size: int = 224,
+        patch_size: int = 16,
+        in_channels: int = 3,
+        embed_dim: int = 768,
+        num_heads: int = 12,
+        mlp_dim: int = 3072,
+        num_layers: int = 12,
+        num_classes: int = 1000,
+        name: str = "bert_base_image",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if image_size % patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+        rng = rng or np.random.default_rng(13)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.embed_dim = embed_dim
+        self.num_patches = (image_size // patch_size) ** 2
+        self.num_tokens = self.num_patches + 1  # class token
+        self.patch_embed = Linear(
+            in_channels * patch_size * patch_size, embed_dim, name=f"{name}.patch_embed", rng=rng
+        )
+        self.cls_token = rng.normal(0.0, 0.02, size=(1, embed_dim))
+        self.pos_embed = rng.normal(0.0, 0.02, size=(self.num_tokens, embed_dim))
+        self.blocks = [
+            TransformerEncoderBlock(
+                embed_dim, num_heads, mlp_dim, name=f"{name}.block{i}", rng=rng
+            )
+            for i in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(embed_dim, name=f"{name}.final_norm")
+        self.head = Linear(embed_dim, num_classes, name=f"{name}.head", rng=rng)
+
+    def children(self):
+        return [self.patch_embed, *self.blocks, self.final_norm, self.head]
+
+    # -- patching -------------------------------------------------------------------
+    def patchify(self, image: np.ndarray) -> np.ndarray:
+        """Split a ``(C, H, W)`` image into flattened non-overlapping patches."""
+        image = np.asarray(image, dtype=float)
+        if image.shape != (self.in_channels, self.image_size, self.image_size):
+            raise ValueError(
+                f"expected image of shape ({self.in_channels}, {self.image_size}, "
+                f"{self.image_size}), got {image.shape}"
+            )
+        p = self.patch_size
+        grid = self.image_size // p
+        patches = image.reshape(self.in_channels, grid, p, grid, p)
+        patches = patches.transpose(1, 3, 0, 2, 4).reshape(grid * grid, -1)
+        return patches
+
+    def _embed(self, image: np.ndarray) -> np.ndarray:
+        patches = self.patchify(image)
+        tokens = self.patch_embed(patches)
+        tokens = np.concatenate([self.cls_token, tokens], axis=0)
+        return tokens + self.pos_embed
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        tokens = self._embed(image)
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.final_norm(tokens)
+        return self.head(tokens[0])
+
+    def extract_gemms(self, image: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
+        gemms: List[GEMMWorkload] = []
+        patches = self.patchify(image)
+        embed_gemms, tokens = self.patch_embed.extract_gemms(patches)
+        gemms.extend(embed_gemms)
+        tokens = np.concatenate([self.cls_token, tokens], axis=0) + self.pos_embed
+        for block in self.blocks:
+            block_gemms, tokens = block.extract_gemms(tokens)
+            gemms.extend(block_gemms)
+        tokens = self.final_norm(tokens)
+        head_gemms, logits = self.head.extract_gemms(tokens[0][None, :])
+        gemms.extend(head_gemms)
+        return gemms, logits[0]
+
+    def num_parameters(self) -> int:
+        total = self.patch_embed.num_parameters() + self.head.num_parameters()
+        total += self.cls_token.size + self.pos_embed.size
+        for block in self.blocks:
+            total += block.num_parameters()
+        return total
+
+
+def build_bert_base_image(
+    image_size: int = 224,
+    num_layers: int = 12,
+    num_classes: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> TransformerEncoder:
+    """BERT-Base parameterization (768 hidden, 12 heads, 3072 MLP) over image patches."""
+    return TransformerEncoder(
+        image_size=image_size,
+        patch_size=16,
+        in_channels=3,
+        embed_dim=768,
+        num_heads=12,
+        mlp_dim=3072,
+        num_layers=num_layers,
+        num_classes=num_classes,
+        rng=rng,
+    )

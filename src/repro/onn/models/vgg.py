@@ -1,0 +1,76 @@
+"""VGG-8 for CIFAR-10: the heterogeneous-mapping workload of Fig. 11.
+
+VGG-8 is the 8-weight-layer VGG variant commonly used in the ONN literature:
+six 3x3 convolutions (two per stage, three stages with 2x2 max pooling between
+stages) followed by two fully connected layers.  ``width_multiplier`` scales all
+channel counts so tests can instantiate a fast miniature version with the same
+topology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.onn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+
+def build_vgg8_cifar10(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    input_channels: int = 3,
+    input_size: int = 32,
+    hidden_features: int = 512,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build VGG-8 sized for ``input_size`` x ``input_size`` images (CIFAR-10 default)."""
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    if input_size % 8 != 0:
+        raise ValueError("input_size must be divisible by 8 (three 2x2 poolings)")
+    rng = rng or np.random.default_rng(42)
+
+    def ch(base: int) -> int:
+        return max(int(round(base * width_multiplier)), 1)
+
+    c1, c2, c3 = ch(64), ch(128), ch(256)
+    hidden = max(int(round(hidden_features * width_multiplier)), num_classes)
+    final_spatial = input_size // 8
+
+    layers = [
+        Conv2d(input_channels, c1, 3, padding=1, name="conv1", rng=rng),
+        BatchNorm2d(c1, name="bn1"),
+        ReLU(name="relu1"),
+        Conv2d(c1, c1, 3, padding=1, name="conv2", rng=rng),
+        BatchNorm2d(c1, name="bn2"),
+        ReLU(name="relu2"),
+        MaxPool2d(2, name="pool1"),
+        Conv2d(c1, c2, 3, padding=1, name="conv3", rng=rng),
+        BatchNorm2d(c2, name="bn3"),
+        ReLU(name="relu3"),
+        Conv2d(c2, c2, 3, padding=1, name="conv4", rng=rng),
+        BatchNorm2d(c2, name="bn4"),
+        ReLU(name="relu4"),
+        MaxPool2d(2, name="pool2"),
+        Conv2d(c2, c3, 3, padding=1, name="conv5", rng=rng),
+        BatchNorm2d(c3, name="bn5"),
+        ReLU(name="relu5"),
+        Conv2d(c3, c3, 3, padding=1, name="conv6", rng=rng),
+        BatchNorm2d(c3, name="bn6"),
+        ReLU(name="relu6"),
+        MaxPool2d(2, name="pool3"),
+        Flatten(name="flatten"),
+        Linear(c3 * final_spatial * final_spatial, hidden, name="fc1", rng=rng),
+        ReLU(name="relu_fc1"),
+        Linear(hidden, num_classes, name="fc2", rng=rng),
+    ]
+    return Sequential(*layers, name="vgg8")

@@ -1,0 +1,56 @@
+"""Magnitude pruning utilities.
+
+Pruned (zero) weights let the data-aware energy analysis power-gate the
+corresponding weight-encoding devices, the co-design knob highlighted with SCATTER
+in the paper's Fig. 5 and Fig. 10(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def magnitude_prune_mask(weights: np.ndarray, prune_ratio: float) -> np.ndarray:
+    """Boolean keep-mask pruning the smallest-magnitude ``prune_ratio`` of weights.
+
+    ``True`` marks weights that are kept.  A ratio of 0 keeps everything, 1 prunes
+    everything.
+    """
+    if not 0.0 <= prune_ratio <= 1.0:
+        raise ValueError(f"prune_ratio must be in [0, 1], got {prune_ratio}")
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0 or prune_ratio == 0.0:
+        return np.ones(weights.shape, dtype=bool)
+    if prune_ratio == 1.0:
+        return np.zeros(weights.shape, dtype=bool)
+    magnitudes = np.abs(weights).ravel()
+    threshold = np.quantile(magnitudes, prune_ratio)
+    mask = np.abs(weights) > threshold
+    # Quantile ties can over-prune; if everything fell at/below the threshold keep
+    # the largest elements explicitly to honour the requested ratio.
+    target_keep = max(int(round(weights.size * (1.0 - prune_ratio))), 1)
+    if mask.sum() < target_keep:
+        order = np.argsort(-magnitudes)
+        mask = np.zeros(weights.size, dtype=bool)
+        mask[order[:target_keep]] = True
+        mask = mask.reshape(weights.shape)
+    return mask
+
+
+def apply_pruning(layer, prune_ratio: float) -> np.ndarray:
+    """Attach a magnitude pruning mask to a Linear/Conv2d layer and return it."""
+    if not hasattr(layer, "weight"):
+        raise TypeError(f"layer {layer!r} has no weights to prune")
+    mask = magnitude_prune_mask(layer.weight, prune_ratio)
+    layer.pruning_mask = mask
+    return mask
+
+
+def sparsity(mask_or_weights: np.ndarray) -> float:
+    """Fraction of zero (pruned) entries in a mask or weight tensor."""
+    arr = np.asarray(mask_or_weights)
+    if arr.size == 0:
+        return 0.0
+    if arr.dtype == bool:
+        return float(1.0 - arr.mean())
+    return float(np.mean(arr == 0.0))

@@ -1,0 +1,74 @@
+"""Uniform quantization utilities used by the digital-to-ONN conversion pass.
+
+Analog PTCs encode operands with a limited DAC/ADC resolution; the conversion pass
+snaps weights (and, during simulation, activations) to the representable grid so the
+workload records carry the values the hardware will actually see.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def quantize_uniform(
+    values: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Quantize ``values`` to a ``bits``-bit uniform grid and return dequantized floats.
+
+    With ``symmetric=True`` the grid spans ``[-max|v|, +max|v|]`` (signed encoding,
+    the natural fit for full-range PTCs); otherwise it spans ``[min(v), max(v)]``
+    (unsigned / intensity encoding).
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values.copy()
+    if symmetric:
+        peak = float(np.max(np.abs(values)))
+        if peak == 0.0:
+            return np.zeros_like(values)
+        # Signed grid with 2^(bits-1) - 1 positive levels.
+        levels = max(2 ** (bits - 1) - 1, 1)
+        scale = peak / levels
+        return np.round(values / scale) * scale
+    low = float(values.min())
+    high = float(values.max())
+    if high == low:
+        return np.full_like(values, low)
+    levels = 2**bits - 1
+    scale = (high - low) / levels
+    return np.round((values - low) / scale) * scale + low
+
+
+def quantization_error(values: np.ndarray, bits: int, symmetric: bool = True) -> float:
+    """Root-mean-square error introduced by ``bits``-bit uniform quantization."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    quantized = quantize_uniform(values, bits, symmetric=symmetric)
+    return float(np.sqrt(np.mean((values - quantized) ** 2)))
+
+
+def quantize_with_scale(values: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """Quantize to signed integers and return ``(int_codes, scale)``.
+
+    Useful when the downstream model wants the raw DAC codes (e.g. to estimate
+    driver power from the code value) rather than the dequantized floats.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values.astype(int), 1.0
+    peak = float(np.max(np.abs(values)))
+    levels = max(2 ** (bits - 1) - 1, 1)
+    if peak == 0.0:
+        return np.zeros(values.shape, dtype=int), 1.0
+    scale = peak / levels
+    codes = np.clip(np.round(values / scale), -levels - 1, levels).astype(int)
+    return codes, scale

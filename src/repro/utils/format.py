@@ -1,0 +1,75 @@
+"""Plain-text formatting helpers for reports and benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.3e-6, 'J') == '2.3 uJ'``."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{precision}g} {prefix}{unit}".rstrip()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Numbers are formatted with ``float_format``; everything else with ``str``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, bool):
+                rendered.append(str(cell))
+            elif isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: Mapping[str, float], unit: str = "") -> str:
+    """Render a component->value breakdown sorted by descending value."""
+    total = sum(breakdown.values())
+    rows = []
+    for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = (value / total * 100.0) if total else 0.0
+        rows.append((name, format_si(value, unit), f"{share:.1f}%"))
+    rows.append(("TOTAL", format_si(total, unit), "100.0%"))
+    return format_table(["component", "value", "share"], rows)

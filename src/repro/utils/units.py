@@ -1,0 +1,101 @@
+"""Physical unit conversion constants and helpers.
+
+The simulator works internally with a small set of canonical units chosen to keep
+magnitudes near unity for typical photonic accelerators:
+
+- time        : nanoseconds (ns)
+- frequency   : gigahertz (GHz)
+- length      : micrometers (um)
+- area        : square micrometers (um^2)
+- power       : milliwatts (mW)
+- energy      : picojoules (pJ)
+- optical loss: decibels (dB)
+
+The constants below convert *from* the named unit *to* the canonical unit, so
+``5 * GHZ`` is a frequency in canonical units and ``latency_ns * US`` is wrong --
+multiply values expressed in the named unit by the constant to canonicalize them.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- frequency (canonical: GHz) -------------------------------------------------
+GHZ = 1.0
+MHZ = 1e-3
+KHZ = 1e-6
+HZ = 1e-9
+
+# --- time (canonical: ns) --------------------------------------------------------
+NS = 1.0
+PS = 1e-3
+US = 1e3
+MS = 1e6
+S = 1e9
+
+# --- length (canonical: um) ------------------------------------------------------
+UM = 1.0
+MM = 1e3
+CM = 1e4
+NM = 1e-3
+
+# --- power (canonical: mW) -------------------------------------------------------
+MW = 1.0
+UW = 1e-3
+NW = 1e-6
+W = 1e3
+
+# --- energy (canonical: pJ) ------------------------------------------------------
+PJ = 1.0
+FJ = 1e-3
+NJ = 1e3
+UJ = 1e6
+MJ = 1e9  # millijoule
+
+# --- data sizes -------------------------------------------------------------------
+BYTE = 8  # bits
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB quantity to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises :class:`ValueError` for non-positive ratios, which have no dB
+    representation.
+    """
+    if ratio <= 0:
+        raise ValueError(f"cannot convert non-positive ratio {ratio!r} to dB")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert optical/electrical power from dBm to mW."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert power from mW to dBm."""
+    if mw <= 0:
+        raise ValueError(f"cannot convert non-positive power {mw!r} mW to dBm")
+    return 10.0 * math.log10(mw)
+
+
+def cycles_to_ns(cycles: float, frequency_ghz: float) -> float:
+    """Convert a cycle count at ``frequency_ghz`` to nanoseconds."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz!r} GHz")
+    return cycles / frequency_ghz
+
+
+def ns_to_cycles(time_ns: float, frequency_ghz: float) -> float:
+    """Convert a duration in ns to (fractional) cycles at ``frequency_ghz``."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz!r} GHz")
+    return time_ns * frequency_ghz

@@ -1,0 +1,93 @@
+"""Shared fixtures for the SimPhony reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.architecture import ArchitectureConfig
+from repro.arch.templates import (
+    build_lightening_transformer,
+    build_mzi_mesh,
+    build_scatter,
+    build_tempo,
+)
+from repro.core.config import SimulationConfig
+from repro.dataflow.gemm import GEMMWorkload
+from repro.devices.library import DeviceLibrary
+
+
+@pytest.fixture(scope="session")
+def default_library() -> DeviceLibrary:
+    return DeviceLibrary.default()
+
+
+@pytest.fixture()
+def tempo_arch():
+    """The paper's Fig. 7 TeMPO configuration: 4x4 cores, 2 tiles x 2 cores, 5 GHz."""
+    return build_tempo()
+
+
+@pytest.fixture()
+def small_tempo_arch():
+    """A tiny TeMPO instance for fast mapping/energy tests."""
+    config = ArchitectureConfig(
+        num_tiles=1,
+        cores_per_tile=1,
+        core_height=2,
+        core_width=2,
+        num_wavelengths=1,
+        frequency_ghz=5.0,
+        name="tempo_small",
+    )
+    return build_tempo(config=config, name="tempo_small")
+
+
+@pytest.fixture()
+def mzi_arch():
+    return build_mzi_mesh()
+
+
+@pytest.fixture()
+def scatter_arch():
+    return build_scatter()
+
+
+@pytest.fixture()
+def lt_arch():
+    """A reduced Lightening-Transformer (small cores) to keep tests fast."""
+    config = ArchitectureConfig(
+        num_tiles=2,
+        cores_per_tile=2,
+        core_height=4,
+        core_width=4,
+        num_wavelengths=4,
+        frequency_ghz=5.0,
+        name="lt_small",
+    )
+    return build_lightening_transformer(config=config, name="lt_small")
+
+
+@pytest.fixture()
+def gemm_workload() -> GEMMWorkload:
+    rng = np.random.default_rng(3)
+    m, k, n = 64, 32, 48
+    return GEMMWorkload(
+        name="test_gemm",
+        m=m,
+        k=k,
+        n=n,
+        weight_values=rng.normal(0, 0.3, size=(k, n)),
+        input_values=rng.normal(0, 0.5, size=(m, k)),
+    )
+
+
+@pytest.fixture()
+def paper_gemm() -> GEMMWorkload:
+    """The (280x28) x (28x280) GEMM used throughout the paper's evaluation."""
+    return GEMMWorkload(name="paper_gemm", m=280, k=28, n=280)
+
+
+@pytest.fixture()
+def sim_config() -> SimulationConfig:
+    return SimulationConfig()

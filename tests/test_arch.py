@@ -1,0 +1,177 @@
+"""Tests for ArchitectureConfig, ArchInstance, DataflowSpec and Architecture."""
+
+import pytest
+
+from repro.arch import (
+    Activity,
+    ArchInstance,
+    Architecture,
+    ArchitectureConfig,
+    Dataflow,
+    DataflowSpec,
+    Role,
+)
+from repro.arch.architecture import HeterogeneousArchitecture
+from repro.arch.templates import build_scatter, build_tempo
+from repro.devices import DeviceLibrary
+from repro.netlist import Netlist
+
+
+class TestArchitectureConfig:
+    def test_derived_counts(self):
+        config = ArchitectureConfig(num_tiles=2, cores_per_tile=3, core_height=4, core_width=5)
+        assert config.num_cores == 6
+        assert config.num_nodes == 120
+
+    def test_cycle_time(self):
+        config = ArchitectureConfig(frequency_ghz=5.0)
+        assert config.cycle_time_ns == pytest.approx(0.2)
+
+    def test_scaling_params_keys(self):
+        params = ArchitectureConfig().scaling_params()
+        assert {"R", "C", "H", "W", "LAMBDA", "T_ACC", "B_IN", "B_W", "B_OUT", "FREQ"} <= set(params)
+
+    @pytest.mark.parametrize("field, value", [
+        ("num_tiles", 0),
+        ("cores_per_tile", -1),
+        ("core_height", 0),
+        ("core_width", 0),
+        ("num_wavelengths", 0),
+        ("frequency_ghz", 0.0),
+        ("input_bits", 0),
+        ("temporal_accumulation", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(**{field: value})
+
+
+class TestArchInstance:
+    def test_count_evaluates_rule(self):
+        inst = ArchInstance("x", "dac", Role.INPUT_ENCODER, count="R*H")
+        assert inst.instance_count({"R": 2, "H": 4}) == 8
+
+    def test_duty_clamped(self):
+        inst = ArchInstance("x", "adc", Role.READOUT, duty="2")
+        assert inst.duty_factor({}) == 1.0
+        inst2 = ArchInstance("x", "adc", Role.READOUT, duty="1/T_ACC")
+        assert inst2.duty_factor({"T_ACC": 4}) == pytest.approx(0.25)
+
+    def test_loss_multiplicity_non_negative(self):
+        inst = ArchInstance("x", "y_branch", Role.DISTRIBUTION, loss_multiplier="W-1")
+        assert inst.loss_multiplicity({"W": 1}) == 0.0
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(ValueError):
+            ArchInstance("x", "dac", Role.INPUT_ENCODER, operand="C")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ArchInstance("", "dac", Role.INPUT_ENCODER)
+
+
+class TestDataflowSpec:
+    def test_parallel_dims(self):
+        spec = DataflowSpec(m_parallel="R*H", n_parallel="W", k_parallel="C*LAMBDA")
+        dims = spec.parallel_dims({"R": 2, "H": 4, "W": 4, "C": 2, "LAMBDA": 3})
+        assert dims == {"M": 8, "N": 4, "K": 6}
+
+    def test_macs_per_cycle(self):
+        spec = DataflowSpec(m_parallel="2", n_parallel="3", k_parallel="4")
+        assert spec.macs_per_cycle({}) == 24
+
+    def test_invalid_temporal_accumulation(self):
+        with pytest.raises(ValueError):
+            DataflowSpec(temporal_accumulation=0)
+
+    def test_stationarity_enum(self):
+        assert DataflowSpec(stationary=Dataflow.WEIGHT_STATIONARY).stationary is Dataflow.WEIGHT_STATIONARY
+
+
+class TestArchitecture:
+    def test_duplicate_instance_names_rejected(self, default_library):
+        link = Netlist(name="link")
+        link.add_instance("laser", "laser")
+        instances = [
+            ArchInstance("laser", "laser", Role.LIGHT_SOURCE),
+            ArchInstance("laser", "laser", Role.LIGHT_SOURCE),
+        ]
+        with pytest.raises(ValueError):
+            Architecture("dup", ArchitectureConfig(), default_library, instances, link)
+
+    def test_unknown_device_rejected(self, default_library):
+        link = Netlist(name="link")
+        link.add_instance("laser", "laser")
+        instances = [ArchInstance("x", "warp_drive", Role.COMPUTE)]
+        with pytest.raises(KeyError):
+            Architecture("bad", ArchitectureConfig(), default_library, instances, link)
+
+    def test_empty_instances_rejected(self, default_library):
+        with pytest.raises(ValueError):
+            Architecture("none", ArchitectureConfig(), default_library, [], Netlist())
+
+    def test_instance_lookup(self, tempo_arch):
+        assert tempo_arch.instance("dac_a").device == "dac"
+        with pytest.raises(KeyError):
+            tempo_arch.instance("nonexistent")
+
+    def test_instances_by_role(self, tempo_arch):
+        encoders = tempo_arch.instances_by_role(Role.INPUT_ENCODER)
+        assert {inst.name for inst in encoders} == {"dac_a", "mzm_a"}
+
+    def test_macs_per_cycle_equals_nodes_times_wavelengths(self, tempo_arch):
+        cfg = tempo_arch.config
+        assert tempo_arch.macs_per_cycle() == cfg.num_nodes * cfg.num_wavelengths
+
+    def test_peak_ops(self, tempo_arch):
+        expected = tempo_arch.macs_per_cycle() * tempo_arch.config.frequency_ghz * 1e9
+        assert tempo_arch.peak_ops_per_second() == pytest.approx(expected)
+
+    def test_footprint_breakdown_positive(self, tempo_arch):
+        breakdown = tempo_arch.footprint_breakdown_um2()
+        assert all(area >= 0 for area in breakdown.values())
+        assert breakdown["adc"] > 0
+        assert "laser" not in breakdown  # off-chip, excluded from area
+
+    def test_weight_reconfig_cycles_zero_for_dynamic(self, tempo_arch):
+        assert tempo_arch.weight_reconfig_cycles() == 0
+
+    def test_weight_reconfig_cycles_positive_for_static(self, mzi_arch):
+        assert mzi_arch.weight_reconfig_cycles() > 0
+
+    def test_critical_path_reported(self, tempo_arch):
+        path = tempo_arch.critical_path()
+        assert path.insertion_loss_db > 0
+        assert path.instances[0] == "laser"
+        assert path.instances[-1] == "pd"
+
+    def test_loss_grows_with_core_width(self):
+        small = build_tempo(config=ArchitectureConfig(core_width=2), name="small")
+        large = build_tempo(config=ArchitectureConfig(core_width=16), name="large")
+        assert large.critical_path_loss_db() > small.critical_path_loss_db()
+
+
+class TestHeterogeneousArchitecture:
+    def test_add_and_get(self, tempo_arch, scatter_arch):
+        system = HeterogeneousArchitecture(name="hybrid")
+        system.add("tempo", tempo_arch)
+        system.add("scatter", scatter_arch)
+        assert len(system) == 2
+        assert system.get("tempo") is tempo_arch
+        assert "scatter" in system
+
+    def test_duplicate_key_rejected(self, tempo_arch):
+        system = HeterogeneousArchitecture(name="hybrid")
+        system.add("tempo", tempo_arch)
+        with pytest.raises(KeyError):
+            system.add("tempo", tempo_arch)
+
+    def test_unknown_key(self):
+        system = HeterogeneousArchitecture(name="hybrid")
+        with pytest.raises(KeyError):
+            system.get("missing")
+
+    def test_iteration(self, tempo_arch):
+        system = HeterogeneousArchitecture(name="hybrid")
+        system.add("tempo", tempo_arch)
+        assert dict(system)["tempo"] is tempo_arch

@@ -1,0 +1,248 @@
+"""Tests for SimPhony-DevLib: device specs, responses, electrical and photonic devices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import (
+    ADC,
+    DAC,
+    TIA,
+    ConstantPower,
+    Device,
+    DeviceCategory,
+    DeviceSpec,
+    Integrator,
+    Laser,
+    LinearResponse,
+    MachZehnderModulator,
+    MicroRingResonator,
+    MZIPhaseShifter,
+    PCMCell,
+    Photodetector,
+    PolynomialResponse,
+    QuadraticPhaseShifterResponse,
+    TabulatedResponse,
+    ThermoOpticPhaseShifter,
+    WaveguideCrossing,
+    YBranch,
+)
+from repro.devices.response import response_from_callable
+
+
+class TestDeviceSpec:
+    def test_footprint(self):
+        spec = DeviceSpec("d", DeviceCategory.PHOTONIC, width_um=10, height_um=5)
+        assert spec.footprint_um2 == 50
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", DeviceCategory.PHOTONIC, width_um=-1, height_um=5)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", DeviceCategory.PHOTONIC, 1, 1, insertion_loss_db=-0.5)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", DeviceCategory.ELECTRICAL, 1, 1, static_power_mw=-1)
+
+    def test_replace_keeps_original(self):
+        spec = DeviceSpec("d", DeviceCategory.PHOTONIC, 10, 5, insertion_loss_db=1.0)
+        new = spec.replace(insertion_loss_db=2.0)
+        assert spec.insertion_loss_db == 1.0
+        assert new.insertion_loss_db == 2.0
+
+
+class TestDeviceBase:
+    def test_scaled_override(self):
+        device = YBranch()
+        bigger = device.scaled(width_um=100.0)
+        assert bigger.width_um == 100.0
+        assert device.width_um != 100.0
+
+    def test_energy_per_cycle_combines_power_and_op_energy(self):
+        spec = DeviceSpec(
+            "d", DeviceCategory.ELECTRICAL, 1, 1, static_power_mw=2.0, energy_per_op_pj=3.0
+        )
+        device = Device(spec)
+        # 2 mW over 0.2 ns = 0.4 pJ, plus 3 pJ per op.
+        assert device.energy_per_cycle_pj(5.0) == pytest.approx(3.4)
+
+    def test_energy_per_cycle_rejects_bad_frequency(self):
+        device = YBranch()
+        with pytest.raises(ValueError):
+            device.energy_per_cycle_pj(0.0)
+
+    def test_category_helpers(self):
+        assert YBranch().is_photonic()
+        assert DAC().is_electrical()
+
+
+class TestPowerResponses:
+    def test_constant_power(self):
+        response = ConstantPower(5.0)
+        assert response.power_mw(0.0) == 5.0
+        assert response.power_mw(1.0) == 5.0
+        assert response.max_power_mw() == 5.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantPower(-1.0)
+
+    def test_linear_response_scales_with_magnitude(self):
+        response = LinearResponse(10.0)
+        assert response.power_mw(0.0) == 0.0
+        assert response.power_mw(0.5) == pytest.approx(5.0)
+        assert response.power_mw(-0.5) == pytest.approx(5.0)
+        assert response.power_mw(2.0) == pytest.approx(10.0)  # clipped
+
+    def test_linear_average(self):
+        response = LinearResponse(10.0)
+        avg = response.average_power_mw([0.0, 1.0])
+        assert avg == pytest.approx(5.0)
+
+    def test_polynomial_response(self):
+        # P = 1 + 2*v^2
+        response = PolynomialResponse([1.0, 0.0, 2.0])
+        assert response.power_mw(0.0) == pytest.approx(1.0)
+        assert response.power_mw(1.0) == pytest.approx(3.0)
+        assert response.max_power_mw() == pytest.approx(3.0)
+
+    def test_tabulated_response_interpolates(self):
+        response = TabulatedResponse([0.0, 1.0], [0.0, 8.0])
+        assert response.power_mw(0.5) == pytest.approx(4.0)
+        assert response.power_mw(2.0) == pytest.approx(8.0)  # clamps
+
+    def test_tabulated_rejects_bad_tables(self):
+        with pytest.raises(ValueError):
+            TabulatedResponse([0.0], [1.0])
+        with pytest.raises(ValueError):
+            TabulatedResponse([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            TabulatedResponse([0.0, 1.0], [1.0, -2.0])
+
+    def test_quadratic_phase_shifter_zero_weight_costs_half_pi(self):
+        response = QuadraticPhaseShifterResponse(p_pi_mw=20.0)
+        # weight 0 -> phase pi/2 -> half of P_pi
+        assert response.power_mw(0.0) == pytest.approx(10.0)
+        # weight 1 -> phase 0 -> no power
+        assert response.power_mw(1.0) == pytest.approx(0.0)
+
+    def test_quadratic_average_below_nominal(self):
+        response = QuadraticPhaseShifterResponse(p_pi_mw=20.0)
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 0.3, size=1000)
+        assert response.average_power_mw(weights) < response.max_power_mw()
+
+    def test_callable_response(self):
+        response = response_from_callable(lambda v: 2.0 * abs(v), max_power_mw=2.0)
+        assert response.power_mw(0.5) == pytest.approx(1.0)
+        assert response.power_mw(-1.0) == pytest.approx(2.0)
+        assert response.max_power_mw() == 2.0
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_linear_response_never_exceeds_max(self, value):
+        response = LinearResponse(7.5)
+        assert 0.0 <= response.power_mw(value) <= 7.5 + 1e-9
+
+    @given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=50))
+    def test_average_bounded_by_max(self, values):
+        response = QuadraticPhaseShifterResponse(p_pi_mw=15.0)
+        assert response.average_power_mw(values) <= response.max_power_mw() + 1e-9
+
+
+class TestDataConverters:
+    def test_dac_power_scales_with_bits(self):
+        low = DAC(bits=4)
+        high = DAC(bits=8)
+        assert high.static_power_mw > low.static_power_mw
+
+    def test_dac_power_scales_with_rate(self):
+        slow = DAC(sampling_rate_ghz=1.0)
+        fast = DAC(sampling_rate_ghz=10.0)
+        assert fast.static_power_mw > slow.static_power_mw
+
+    def test_dac_rescaled(self):
+        dac = DAC(bits=8, sampling_rate_ghz=5.0)
+        rescaled = dac.rescaled(bits=4)
+        assert rescaled.bits == 4
+        assert rescaled.sampling_rate_ghz == 5.0
+        assert rescaled.static_power_mw < dac.static_power_mw
+
+    def test_adc_walden_model(self):
+        adc = ADC(bits=8, sampling_rate_ghz=5.0, fom_fj_per_conv_step=30.0)
+        expected_dynamic = 30.0 * 256 * 1e-3 * 5.0
+        assert adc.static_power_mw == pytest.approx(expected_dynamic + 0.2)
+
+    def test_adc_energy_per_conversion(self):
+        adc = ADC(bits=6, fom_fj_per_conv_step=10.0)
+        assert adc.energy_per_conversion_pj == pytest.approx(10.0 * 64 * 1e-3)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DAC(bits=0)
+        with pytest.raises(ValueError):
+            ADC(bits=-1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DAC(sampling_rate_ghz=0.0)
+
+    def test_tia_and_integrator_defaults(self):
+        assert TIA().static_power_mw > 0
+        assert Integrator().max_integration_cycles > 1
+        with pytest.raises(ValueError):
+            Integrator(max_integration_cycles=0)
+
+
+class TestPhotonicDevices:
+    def test_laser_wall_plug_efficiency(self):
+        laser = Laser(wall_plug_efficiency=0.25)
+        assert laser.electrical_power_mw(10.0) == pytest.approx(40.0)
+
+    def test_laser_rejects_bad_wpe(self):
+        with pytest.raises(ValueError):
+            Laser(wall_plug_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Laser(wall_plug_efficiency=1.5)
+
+    def test_laser_rejects_negative_optical_power(self):
+        with pytest.raises(ValueError):
+            Laser().electrical_power_mw(-1.0)
+
+    def test_mzm_properties(self):
+        mzm = MachZehnderModulator(bandwidth_ghz=40.0, extinction_ratio_db=9.0)
+        assert mzm.spec.max_frequency_ghz == 40.0
+        assert mzm.extinction_ratio_db == 9.0
+        assert mzm.energy_per_op_pj == pytest.approx(0.05)
+
+    def test_phase_shifter_data_dependence(self):
+        ps = ThermoOpticPhaseShifter(p_pi_mw=20.0)
+        assert ps.power_mw(1.0) < ps.power_mw(0.0)
+        assert ps.nominal_power_mw() == pytest.approx(20.0)
+
+    def test_mzi_has_two_phase_shifters_worth_of_power(self):
+        mzi = MZIPhaseShifter(p_pi_mw=20.0)
+        assert mzi.nominal_power_mw() == pytest.approx(40.0)
+
+    def test_mrr_linear_tuning(self):
+        mrr = MicroRingResonator(tuning_power_mw=4.0)
+        assert mrr.power_mw(0.5) == pytest.approx(2.0)
+
+    def test_pcm_zero_static_power(self):
+        pcm = PCMCell()
+        assert pcm.power_mw(0.7) == 0.0
+        assert pcm.reconfig_time_ns >= 100.0
+        assert pcm.spec.extra["write_energy_pj"] > 0
+
+    def test_photodetector_sensitivity(self):
+        pd = Photodetector(sensitivity_dbm=-28.0)
+        assert pd.sensitivity_dbm == -28.0
+        with pytest.raises(ValueError):
+            Photodetector(responsivity_a_per_w=0.0)
+
+    def test_passives_have_loss_but_no_power(self):
+        for device in (YBranch(), WaveguideCrossing()):
+            assert device.insertion_loss_db > 0
+            assert device.nominal_power_mw() == 0.0

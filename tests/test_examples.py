@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end to end and prints its report."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert "quickstart.py" in scripts
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "energy breakdown" in out
+        assert "link budget" in out
+
+    def test_data_aware_energy_runs(self, capsys):
+        load_example("data_aware_energy").main()
+        out = capsys.readouterr().out
+        assert "data-aware" in out
+        assert "PS energy" in out
+
+    def test_heterogeneous_vgg8_runs_small(self, capsys):
+        load_example("heterogeneous_vgg8").main(width_multiplier=0.1)
+        out = capsys.readouterr().out
+        assert "scatter" in out
+        assert "mzi_mesh" in out
+        assert "total energy" in out
+
+    @pytest.mark.parametrize("name", ["design_space_sweep", "pareto_exploration"])
+    def test_sweep_examples_importable(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")

@@ -1,0 +1,134 @@
+"""Property-based invariants of the end-to-end simulator.
+
+These tests pin relationships that must hold for *any* workload and architecture
+configuration: conservation between breakdowns and totals, monotonicity of latency
+in the workload size, and the direction of every co-design knob (wavelengths,
+bitwidth, parallel hardware, pruning).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GEMMWorkload, SimulationConfig, Simulator
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_scatter, build_tempo
+from repro.dataflow.mapping import DataflowMapper
+
+dims = st.integers(min_value=1, max_value=200)
+small_hw = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims, dims, dims)
+def test_energy_and_cycles_positive_for_any_gemm(m, k, n):
+    arch = build_tempo(
+        config=ArchitectureConfig(num_tiles=1, cores_per_tile=1, core_height=2, core_width=2),
+        name="tiny",
+    )
+    result = Simulator(arch).run(GEMMWorkload("g", m=m, k=k, n=n))
+    assert result.total_cycles > 0
+    assert result.total_energy_pj > 0
+    assert result.total_area_mm2 > 0
+    # breakdown totals are conserved
+    assert result.total_energy_pj == pytest.approx(sum(result.energy_breakdown_pj.values()))
+    layer = result.layers[0]
+    assert layer.energy.total_pj == pytest.approx(result.total_energy_pj)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims, dims, dims)
+def test_mapping_cycles_monotone_in_workload(m, k, n):
+    arch = build_tempo()
+    mapper = DataflowMapper()
+    small = mapper.map(GEMMWorkload("s", m=m, k=k, n=n), arch)
+    large = mapper.map(GEMMWorkload("l", m=m + 8, k=k + 8, n=n + 8), arch)
+    assert large.compute_cycles >= small.compute_cycles
+    assert large.total_cycles >= small.total_cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_hw, small_hw)
+def test_more_parallel_hardware_never_slower(height, width):
+    workload = GEMMWorkload("g", m=64, k=32, n=64)
+    mapper = DataflowMapper()
+    base = build_tempo(
+        config=ArchitectureConfig(core_height=height, core_width=width), name="base"
+    )
+    doubled = build_tempo(
+        config=ArchitectureConfig(core_height=2 * height, core_width=2 * width),
+        name="doubled",
+    )
+    assert (
+        mapper.map(workload, doubled).compute_cycles
+        <= mapper.map(workload, base).compute_cycles
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_wavelengths_never_increase_compute_cycles(wavelengths):
+    workload = GEMMWorkload("g", m=128, k=64, n=128)
+    mapper = DataflowMapper()
+    single = build_tempo(config=ArchitectureConfig(num_wavelengths=1), name="w1")
+    multi = build_tempo(
+        config=ArchitectureConfig(num_wavelengths=wavelengths), name=f"w{wavelengths}"
+    )
+    assert (
+        mapper.map(workload, multi).compute_cycles
+        <= mapper.map(workload, single).compute_cycles
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_bitwidth_monotone_energy(bits):
+    """Energy at `bits` is never more than at `bits + 1` (same workload shape)."""
+    def run(b):
+        arch = build_tempo(
+            config=ArchitectureConfig(input_bits=b, weight_bits=b, output_bits=b),
+            name=f"b{b}",
+        )
+        return Simulator(arch).run(
+            GEMMWorkload("g", m=64, k=16, n=64, input_bits=b, weight_bits=b, output_bits=b)
+        ).total_energy_pj
+
+    assert run(bits) <= run(bits + 1) * 1.0001
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.floats(min_value=0.0, max_value=0.9))
+def test_pruning_never_increases_energy(prune_ratio):
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0, 0.25, size=(16, 16))
+    keep = np.abs(weights) > np.quantile(np.abs(weights), prune_ratio)
+    arch = build_scatter()
+    sim = Simulator(arch, SimulationConfig(data_aware=True))
+    dense = sim.run(GEMMWorkload("dense", m=128, k=16, n=16, weight_values=weights))
+    sparse = sim.run(
+        GEMMWorkload("sparse", m=128, k=16, n=16, weight_values=weights, pruning_mask=keep)
+    )
+    assert sparse.total_energy_pj <= dense.total_energy_pj * 1.0001
+
+
+@settings(max_examples=10, deadline=None)
+@given(dims, dims, dims)
+def test_utilization_and_power_bounds(m, k, n):
+    arch = build_tempo()
+    result = Simulator(arch).run(GEMMWorkload("g", m=m, k=k, n=n))
+    mapping = result.layers[0].mapping
+    assert 0.0 < mapping.utilization <= 1.0
+    # Average power must be below the sum of every device's worst-case power plus
+    # memory and laser budgets -- sanity bound of a few hundred watts for this arch.
+    assert result.total_power_w < 500.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(dims, dims)
+def test_area_independent_of_workload(m, n):
+    """Chip area depends on the architecture, not on the workload mapped to it."""
+    arch = build_tempo()
+    sim = Simulator(arch, SimulationConfig(include_memory=False))
+    a = sim.run(GEMMWorkload("a", m=m, k=16, n=n)).total_area_mm2
+    b = sim.run(GEMMWorkload("b", m=n, k=32, n=m)).total_area_mm2
+    assert a == pytest.approx(b)

@@ -1,0 +1,89 @@
+"""Tests for the device library registry."""
+
+import pytest
+
+from repro.devices import DeviceLibrary, MachZehnderModulator, YBranch
+from repro.devices.base import DeviceCategory
+
+
+class TestDefaultLibrary:
+    REQUIRED_DEVICES = [
+        "laser",
+        "microcomb",
+        "coupler",
+        "dac",
+        "adc",
+        "tia",
+        "integrator",
+        "digital_control",
+        "mzm",
+        "mzi",
+        "phase_shifter",
+        "mrr",
+        "mrm",
+        "pd",
+        "y_branch",
+        "directional_coupler",
+        "mmi",
+        "crossing",
+        "pcm",
+        "wdm_mux",
+    ]
+
+    def test_contains_all_canonical_devices(self, default_library):
+        for name in self.REQUIRED_DEVICES:
+            assert name in default_library
+
+    def test_len_matches_names(self, default_library):
+        assert len(default_library) == len(list(default_library.names()))
+
+    def test_get_unknown_raises_with_listing(self, default_library):
+        with pytest.raises(KeyError) as err:
+            default_library.get("flux_capacitor")
+        assert "mzm" in str(err.value)
+
+    def test_getitem(self, default_library):
+        assert default_library["dac"].name == "dac"
+
+    def test_converter_sizing_follows_arguments(self):
+        lib = DeviceLibrary.default(adc_bits=4, dac_bits=4, frequency_ghz=2.0)
+        assert lib["adc"].bits == 4
+        assert lib["dac"].sampling_rate_ghz == 2.0
+
+    def test_category_partition(self, default_library):
+        photonic = default_library.photonic_devices()
+        electrical = default_library.electrical_devices()
+        assert set(photonic) | set(electrical) == set(default_library.names())
+        assert not set(photonic) & set(electrical)
+        assert all(d.category is DeviceCategory.PHOTONIC for d in photonic.values())
+
+
+class TestLibraryMutation:
+    def test_register_overwrite(self):
+        lib = DeviceLibrary.default()
+        custom = MachZehnderModulator(insertion_loss_db=2.5, name="mzm")
+        lib.register(custom)
+        assert lib["mzm"].insertion_loss_db == 2.5
+
+    def test_register_no_overwrite_raises(self):
+        lib = DeviceLibrary.default()
+        with pytest.raises(KeyError):
+            lib.register(YBranch(name="mzm"), overwrite=False)
+
+    def test_override_returns_new_library(self):
+        lib = DeviceLibrary.default()
+        new = lib.override("mzm", insertion_loss_db=9.9)
+        assert new["mzm"].insertion_loss_db == 9.9
+        assert lib["mzm"].insertion_loss_db != 9.9
+
+    def test_copy_is_independent(self):
+        lib = DeviceLibrary.default()
+        clone = lib.copy(name="clone")
+        clone.register(YBranch(name="extra"))
+        assert "extra" in clone
+        assert "extra" not in lib
+
+    def test_custom_library_from_devices(self):
+        lib = DeviceLibrary([YBranch(name="yb")], name="mini")
+        assert len(lib) == 1
+        assert lib.name == "mini"

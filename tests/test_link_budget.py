@@ -1,0 +1,117 @@
+"""Tests for link-budget analysis and the Eq. (1) laser power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_tempo
+from repro.core.link_budget import LinkBudgetAnalyzer, required_laser_power_mw
+
+
+class TestEquationOne:
+    def test_zero_loss_baseline(self):
+        optical, electrical = required_laser_power_mw(
+            insertion_loss_db=0.0,
+            pd_sensitivity_dbm=-30.0,
+            input_bits=1,
+            extinction_ratio_db=100.0,
+            wall_plug_efficiency=1.0,
+        )
+        # Receiver floor 1 uW, 2 levels, negligible ER penalty.
+        assert optical == pytest.approx(2e-3, rel=1e-3)
+        assert electrical == pytest.approx(optical)
+
+    def test_loss_increases_power_exponentially(self):
+        low, _ = required_laser_power_mw(3.0, -25.0, 8, 8.0)
+        high, _ = required_laser_power_mw(13.0, -25.0, 8, 8.0)
+        assert high / low == pytest.approx(10.0, rel=1e-6)
+
+    def test_each_extra_bit_doubles_power(self):
+        p4, _ = required_laser_power_mw(5.0, -25.0, 4, 8.0)
+        p5, _ = required_laser_power_mw(5.0, -25.0, 5, 8.0)
+        assert p5 / p4 == pytest.approx(2.0)
+
+    def test_extinction_ratio_penalty(self):
+        ideal, _ = required_laser_power_mw(5.0, -25.0, 8, 100.0)
+        lossy, _ = required_laser_power_mw(5.0, -25.0, 8, 3.0)
+        assert lossy > ideal
+        assert lossy / ideal == pytest.approx(1.0 / (1.0 - 10 ** (-0.3)), rel=1e-6)
+
+    def test_wall_plug_efficiency_scales_electrical_only(self):
+        optical_a, electrical_a = required_laser_power_mw(5.0, -25.0, 8, 8.0, 1.0)
+        optical_b, electrical_b = required_laser_power_mw(5.0, -25.0, 8, 8.0, 0.2)
+        assert optical_a == pytest.approx(optical_b)
+        assert electrical_b == pytest.approx(5.0 * electrical_a)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(insertion_loss_db=-1.0, pd_sensitivity_dbm=-25, input_bits=8, extinction_ratio_db=8),
+            dict(insertion_loss_db=5.0, pd_sensitivity_dbm=-25, input_bits=0, extinction_ratio_db=8),
+            dict(insertion_loss_db=5.0, pd_sensitivity_dbm=-25, input_bits=8, extinction_ratio_db=0),
+            dict(insertion_loss_db=5.0, pd_sensitivity_dbm=-25, input_bits=8, extinction_ratio_db=8,
+                 wall_plug_efficiency=0.0),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            required_laser_power_mw(**kwargs)
+
+    @given(
+        st.floats(min_value=0.0, max_value=30.0),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_monotone_in_loss_and_bits(self, loss, bits):
+        base, _ = required_laser_power_mw(loss, -25.0, bits, 8.0)
+        more_loss, _ = required_laser_power_mw(loss + 1.0, -25.0, bits, 8.0)
+        more_bits, _ = required_laser_power_mw(loss, -25.0, bits + 1, 8.0)
+        assert more_loss > base
+        assert more_bits > base
+
+
+class TestLinkBudgetAnalyzer:
+    def test_report_fields(self, tempo_arch):
+        report = LinkBudgetAnalyzer().analyze(tempo_arch)
+        assert report.insertion_loss_db == pytest.approx(
+            tempo_arch.critical_path_loss_db()
+        )
+        assert report.laser_optical_power_mw > 0
+        assert report.laser_electrical_power_mw > report.laser_optical_power_mw
+        assert report.input_bits == tempo_arch.config.input_bits
+        assert report.num_sources >= 1
+
+    def test_uses_device_parameters(self, tempo_arch):
+        report = LinkBudgetAnalyzer().analyze(tempo_arch)
+        assert report.pd_sensitivity_dbm == tempo_arch.library["pd"].sensitivity_dbm
+        assert report.extinction_ratio_db == tempo_arch.library["mzm"].extinction_ratio_db
+        assert report.wall_plug_efficiency == tempo_arch.library["laser"].wall_plug_efficiency
+
+    def test_bigger_arrays_need_more_laser_power(self):
+        small = build_tempo(config=ArchitectureConfig(core_width=2), name="small")
+        large = build_tempo(config=ArchitectureConfig(core_width=12), name="large")
+        analyzer = LinkBudgetAnalyzer()
+        assert (
+            analyzer.analyze(large).laser_optical_power_mw
+            > analyzer.analyze(small).laser_optical_power_mw
+        )
+
+    def test_wavelengths_scale_total_power(self):
+        one = build_tempo(config=ArchitectureConfig(num_wavelengths=1), name="w1")
+        four = build_tempo(config=ArchitectureConfig(num_wavelengths=4), name="w4")
+        analyzer = LinkBudgetAnalyzer()
+        report_one = analyzer.analyze(one)
+        report_four = analyzer.analyze(four)
+        assert report_four.num_sources == 4 * report_one.num_sources
+        assert (
+            report_four.total_laser_electrical_power_mw
+            > report_one.total_laser_electrical_power_mw
+        )
+
+    def test_lower_bitwidth_lowers_laser_power(self):
+        high = build_tempo(config=ArchitectureConfig(input_bits=8), name="b8")
+        low = build_tempo(config=ArchitectureConfig(input_bits=4), name="b4")
+        analyzer = LinkBudgetAnalyzer()
+        assert (
+            analyzer.analyze(low).laser_optical_power_mw
+            < analyzer.analyze(high).laser_optical_power_mw
+        )

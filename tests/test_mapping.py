@@ -1,0 +1,174 @@
+"""Tests for the dataflow mapper: blocking, hierarchical accumulation, penalties, traffic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_mzi_mesh, build_pcm_crossbar, build_tempo
+from repro.dataflow.gemm import GEMMWorkload
+from repro.dataflow.mapping import DataflowMapper
+from repro.memory.hierarchy import MemoryLevel
+
+
+@pytest.fixture()
+def mapper():
+    return DataflowMapper()
+
+
+class TestBlocking:
+    def test_iteration_counts(self, mapper, tempo_arch):
+        workload = GEMMWorkload("g", m=280, k=28, n=280)
+        mapping = mapper.map(workload, tempo_arch)
+        assert mapping.m_iters == math.ceil(280 / mapping.m_parallel)
+        assert mapping.n_iters == math.ceil(280 / mapping.n_parallel)
+        assert mapping.k_iters == math.ceil(28 / mapping.k_parallel)
+        assert mapping.compute_cycles_per_forward == (
+            mapping.m_iters * mapping.n_iters * mapping.k_iters
+        )
+
+    def test_parallel_dims_match_arch(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=8, k=8, n=8), tempo_arch)
+        cfg = tempo_arch.config
+        assert mapping.m_parallel == cfg.num_tiles * cfg.core_height
+        assert mapping.n_parallel == cfg.core_width
+        assert mapping.k_parallel == cfg.cores_per_tile * cfg.num_wavelengths
+
+    def test_small_gemm_single_iteration(self, mapper, small_tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=1, k=1, n=1), small_tempo_arch)
+        assert mapping.compute_cycles_per_forward == 1
+        assert mapping.utilization < 1.0
+
+    def test_perfect_fit_full_utilization(self, mapper, small_tempo_arch):
+        dims = small_tempo_arch.dataflow.parallel_dims(small_tempo_arch.params)
+        workload = GEMMWorkload("g", m=dims["M"] * 3, k=dims["K"] * 2, n=dims["N"] * 4)
+        mapping = mapper.map(workload, small_tempo_arch)
+        assert mapping.utilization == pytest.approx(1.0)
+
+    def test_utilization_never_exceeds_one(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=13, k=7, n=9), tempo_arch)
+        assert 0.0 < mapping.utilization <= 1.0
+
+
+class TestHierarchicalAccumulation:
+    def test_temporal_accumulation_bounded_by_k_iters(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=8, n=64), tempo_arch)
+        assert mapping.temporal_accumulation <= mapping.k_iters
+
+    def test_temporal_accumulation_bounded_by_integrator(self, tempo_arch):
+        mapper = DataflowMapper(max_integration_cycles=4)
+        mapping = mapper.map(GEMMWorkload("g", m=280, k=280, n=280), tempo_arch)
+        assert mapping.temporal_accumulation == 4
+
+    def test_no_integrator_means_no_accumulation(self, mzi_arch):
+        mapper = DataflowMapper()
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=64, n=64), mzi_arch)
+        assert mapping.temporal_accumulation == 1
+
+    def test_output_samples_reduced_by_integration(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=280, k=280, n=280), tempo_arch)
+        without_integration = mapping.forwards * mapping.m_iters * mapping.n_iters * mapping.k_iters
+        assert mapping.output_samples < without_integration
+
+    def test_params_overlay_carries_t_acc(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=280, k=280, n=280), tempo_arch)
+        assert mapping.params_overlay()["T_ACC"] == mapping.temporal_accumulation
+
+
+class TestLatencyPenalties:
+    def test_range_restricted_ptc_pays_forwards(self, mapper):
+        arch = build_pcm_crossbar()
+        mapping = mapper.map(GEMMWorkload("g", m=32, k=32, n=32), arch)
+        assert mapping.forwards == 4
+        assert mapping.compute_cycles == 4 * mapping.compute_cycles_per_forward
+
+    def test_dynamic_ptc_single_forward(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=32, k=32, n=32), tempo_arch)
+        assert mapping.forwards == 1
+
+    def test_weight_stationary_reconfig_penalty(self, mapper, mzi_arch):
+        workload = GEMMWorkload("g", m=64, k=64, n=64)
+        mapping = mapper.map(workload, mzi_arch)
+        assert mapping.reconfig_events > 0
+        assert mapping.reconfig_cycles_per_event == mzi_arch.weight_reconfig_cycles()
+        assert mapping.reconfig_cycles > 0
+        assert mapping.total_cycles == mapping.compute_cycles + mapping.reconfig_cycles
+
+    def test_dynamic_ptc_no_reconfig(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=64, n=64), tempo_arch)
+        assert mapping.reconfig_events == 0
+        assert mapping.reconfig_cycles == 0
+
+    def test_thermo_optic_reconfig_dominates_small_layers(self, mapper, mzi_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=8, k=8, n=8), mzi_arch)
+        assert mapping.reconfig_cycles > mapping.compute_cycles
+
+    def test_reconfig_cycles_match_paper_example(self):
+        # 100 ns reconfiguration at 5 GHz -> 500 cycles per switch (paper Sec. III-C2).
+        arch = build_mzi_mesh()
+        arch.library.register(
+            arch.library.get("mzi").scaled(reconfig_time_ns=100.0)
+        )
+        assert arch.weight_reconfig_cycles() == 500
+
+
+class TestTimingAndTraffic:
+    def test_total_time(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=32, n=64), tempo_arch)
+        assert mapping.total_time_ns == pytest.approx(
+            mapping.total_cycles / tempo_arch.frequency_ghz
+        )
+
+    def test_traffic_covers_all_levels(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=32, n=64), tempo_arch)
+        assert set(mapping.traffic_bits) == set(MemoryLevel)
+        assert all(bits >= 0 for bits in mapping.traffic_bits.values())
+
+    def test_rf_traffic_largest_onchip(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=280, k=28, n=280), tempo_arch)
+        assert mapping.traffic_bits[MemoryLevel.RF] >= mapping.traffic_bits[MemoryLevel.LB]
+        assert mapping.traffic_bits[MemoryLevel.RF] >= mapping.traffic_bits[MemoryLevel.GLB]
+
+    def test_hbm_traffic_is_weights_only(self, mapper, tempo_arch):
+        workload = GEMMWorkload("g", m=64, k=32, n=16)
+        mapping = mapper.map(workload, tempo_arch)
+        assert mapping.traffic_bits[MemoryLevel.HBM] == pytest.approx(
+            workload.weight_bytes * 8
+        )
+
+    def test_bytes_per_cycle_positive(self, mapper, tempo_arch):
+        mapping = mapper.map(GEMMWorkload("g", m=64, k=32, n=64), tempo_arch)
+        assert mapping.bytes_per_cycle["total"] > 0
+        assert mapping.bytes_per_cycle["total"] == pytest.approx(
+            mapping.bytes_per_cycle["input"]
+            + mapping.bytes_per_cycle["weight"]
+            + mapping.bytes_per_cycle["output"]
+        )
+
+    def test_forwards_multiply_traffic(self, mapper):
+        workload = GEMMWorkload("g", m=32, k=32, n=32)
+        tempo = build_tempo(config=ArchitectureConfig(), name="t")
+        pcm = build_pcm_crossbar()
+        tempo_map = mapper.map(workload, tempo)
+        pcm_map = mapper.map(workload, pcm)
+        assert (
+            pcm_map.traffic_bits[MemoryLevel.GLB] > tempo_map.traffic_bits[MemoryLevel.GLB]
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=300),
+    )
+    def test_compute_cycles_cover_all_macs(self, m, k, n):
+        arch = build_tempo()
+        mapping = DataflowMapper().map(GEMMWorkload("g", m=m, k=k, n=n), arch)
+        provisioned = (
+            mapping.compute_cycles_per_forward
+            * mapping.m_parallel
+            * mapping.n_parallel
+            * mapping.k_parallel
+        )
+        assert provisioned >= m * n * k

@@ -1,0 +1,175 @@
+"""Tests for the CACTI-substitute memory models and the four-level hierarchy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    HBMModel,
+    MemoryHierarchy,
+    MemoryLevel,
+    RegisterFileModel,
+    SRAMModel,
+    required_glb_blocks,
+)
+
+
+class TestSRAMModel:
+    def test_reference_point(self):
+        sram = SRAMModel(capacity_bytes=64 * 1024)
+        assert sram.read_energy_pj_per_bit == pytest.approx(0.30)
+        assert sram.access_time_ns == pytest.approx(1.0)
+        assert sram.area_mm2 == pytest.approx(0.30)
+
+    def test_energy_grows_with_capacity(self):
+        small = SRAMModel(capacity_bytes=64 * 1024)
+        large = SRAMModel(capacity_bytes=1024 * 1024)
+        assert large.read_energy_pj_per_bit > small.read_energy_pj_per_bit
+        assert large.access_time_ns > small.access_time_ns
+        assert large.area_mm2 > small.area_mm2
+
+    def test_sqrt_capacity_scaling(self):
+        base = SRAMModel(capacity_bytes=64 * 1024)
+        quad = SRAMModel(capacity_bytes=4 * 64 * 1024)
+        assert quad.read_energy_pj_per_bit == pytest.approx(2 * base.read_energy_pj_per_bit)
+
+    def test_tech_scaling_reduces_energy(self):
+        old = SRAMModel(capacity_bytes=64 * 1024, tech_nm=45)
+        new = SRAMModel(capacity_bytes=64 * 1024, tech_nm=14)
+        assert new.read_energy_pj_per_bit < old.read_energy_pj_per_bit
+        assert new.area_mm2 < old.area_mm2
+
+    def test_banking_increases_bandwidth(self):
+        flat = SRAMModel(capacity_bytes=1024 * 1024, num_blocks=1)
+        banked = flat.with_blocks(8)
+        assert banked.bandwidth_bits_per_ns > flat.bandwidth_bits_per_ns
+        assert banked.area_mm2 > flat.area_mm2  # banking overhead
+
+    def test_banking_reduces_per_access_energy(self):
+        flat = SRAMModel(capacity_bytes=1024 * 1024, num_blocks=1)
+        banked = flat.with_blocks(16)
+        assert banked.read_energy_pj_per_bit < flat.read_energy_pj_per_bit
+
+    def test_write_more_expensive_than_read(self):
+        sram = SRAMModel(capacity_bytes=128 * 1024)
+        assert sram.write_energy_pj_per_bit > sram.read_energy_pj_per_bit
+        assert sram.access_energy_pj(100, write=True) > sram.access_energy_pj(100)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SRAMModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            SRAMModel(capacity_bytes=1024, buswidth_bits=0)
+        with pytest.raises(ValueError):
+            SRAMModel(capacity_bytes=1024, num_blocks=0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SRAMModel(capacity_bytes=1024).access_energy_pj(-1)
+
+    @given(st.integers(min_value=10, max_value=26))
+    def test_energy_monotone_in_capacity(self, log_capacity):
+        smaller = SRAMModel(capacity_bytes=2**log_capacity)
+        larger = SRAMModel(capacity_bytes=2 ** (log_capacity + 1))
+        assert larger.read_energy_pj_per_bit >= smaller.read_energy_pj_per_bit
+
+
+class TestHBMAndRF:
+    def test_hbm_energy_per_bit(self):
+        hbm = HBMModel()
+        assert hbm.access_energy_pj(1000) == pytest.approx(3900.0)
+        assert hbm.area_mm2 == 0.0
+
+    def test_hbm_more_expensive_than_sram(self):
+        assert HBMModel().read_energy_pj_per_bit > SRAMModel(2 * 1024 * 1024).read_energy_pj_per_bit
+
+    def test_rf_cheapest(self):
+        rf = RegisterFileModel()
+        assert rf.read_energy_pj_per_bit < SRAMModel(64 * 1024).read_energy_pj_per_bit
+        assert rf.access_energy_pj(64) == pytest.approx(64 * rf.energy_pj_per_bit)
+
+    def test_invalid_hbm(self):
+        with pytest.raises(ValueError):
+            HBMModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            HBMModel(bandwidth_gb_per_s=0)
+
+
+class TestRequiredGlbBlocks:
+    def test_paper_formula(self):
+        # demand 120 B/ns, 1 ns cycle, 256-bit (32 B) bus -> ceil(120/32) = 4 blocks
+        assert required_glb_blocks(120.0, 1.0, 256) == 4
+
+    def test_zero_demand_needs_one_block(self):
+        assert required_glb_blocks(0.0, 1.0, 64) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            required_glb_blocks(-1.0, 1.0, 64)
+        with pytest.raises(ValueError):
+            required_glb_blocks(1.0, 0.0, 64)
+
+    @given(st.floats(min_value=0.1, max_value=1000.0))
+    def test_block_count_meets_demand(self, demand):
+        cycle_ns, buswidth = 1.0, 256
+        blocks = required_glb_blocks(demand, cycle_ns, buswidth)
+        assert blocks * buswidth / 8.0 / cycle_ns >= demand - 1e-6
+
+
+class TestMemoryHierarchy:
+    def test_default_has_all_levels(self):
+        hierarchy = MemoryHierarchy.default()
+        for level in MemoryLevel:
+            assert hierarchy.level(level) is not None
+
+    def test_for_workload_sizes_levels(self):
+        hierarchy = MemoryHierarchy.for_workload(
+            max_layer_bytes=500_000, tile_bytes=20_000, cycle_bytes=100
+        )
+        glb = hierarchy.level(MemoryLevel.GLB)
+        lb = hierarchy.level(MemoryLevel.LB)
+        rf = hierarchy.level(MemoryLevel.RF)
+        assert glb.capacity_bytes >= 500_000
+        assert lb.capacity_bytes >= 20_000
+        assert rf.capacity_bytes >= 100
+        assert glb.capacity_bytes > lb.capacity_bytes > rf.capacity_bytes
+
+    def test_adapt_glb_bandwidth(self):
+        hierarchy = MemoryHierarchy.default(glb_bytes=1024 * 1024, buswidth_bits=256)
+        demand = 200.0  # bytes per ns
+        blocks = hierarchy.adapt_glb_bandwidth(demand)
+        assert blocks >= 1
+        assert hierarchy.meets_bandwidth(MemoryLevel.GLB, demand)
+
+    def test_adapt_glb_trims_excess_blocks(self):
+        hierarchy = MemoryHierarchy.default(glb_bytes=1024 * 1024, buswidth_bits=256)
+        blocks = hierarchy.adapt_glb_bandwidth(1.0)  # trivially satisfiable
+        assert blocks == 1
+
+    def test_energy_accounting(self):
+        hierarchy = MemoryHierarchy.default()
+        energy = hierarchy.access_energy_pj(MemoryLevel.GLB, 1024)
+        assert energy > 0
+        assert hierarchy.access_energy_pj(MemoryLevel.HBM, 1024) > energy
+
+    def test_onchip_area_excludes_hbm(self):
+        hierarchy = MemoryHierarchy.default()
+        assert hierarchy.onchip_area_mm2() < 100  # HBM stack would dwarf this
+
+    def test_onchip_leakage_excludes_hbm(self):
+        hierarchy = MemoryHierarchy.default()
+        assert hierarchy.onchip_leakage_mw() < hierarchy.leakage_mw()
+
+    def test_describe_keys(self):
+        summary = MemoryHierarchy.default().describe()
+        assert set(summary) == {"hbm", "glb", "lb", "rf"}
+        assert summary["glb"]["num_blocks"] >= 1
+
+    def test_unknown_level_raises(self):
+        hierarchy = MemoryHierarchy(levels={})
+        with pytest.raises(KeyError):
+            hierarchy.level(MemoryLevel.GLB)
+
+    def test_adapt_requires_sram_glb(self):
+        hierarchy = MemoryHierarchy(levels={MemoryLevel.GLB: HBMModel()})
+        with pytest.raises(TypeError):
+            hierarchy.adapt_glb_bandwidth(10.0)

@@ -1,0 +1,205 @@
+"""Tests for the directed 2-pin netlist and its weighted DAG lowering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import DeviceLibrary
+from repro.netlist import CircuitDAG, Netlist
+from repro.netlist.netlist import linear_netlist
+
+
+def make_chain() -> Netlist:
+    netlist = Netlist(name="chain")
+    netlist.add_instance("laser", "laser")
+    netlist.add_instance("mzm", "mzm")
+    netlist.add_instance("pd", "pd")
+    netlist.chain("laser", "mzm", "pd")
+    return netlist
+
+
+class TestNetlistConstruction:
+    def test_add_and_lookup(self):
+        netlist = make_chain()
+        assert len(netlist) == 3
+        assert netlist.device_of("mzm") == "mzm"
+        assert "laser" in netlist
+
+    def test_duplicate_instance_rejected(self):
+        netlist = make_chain()
+        with pytest.raises(ValueError):
+            netlist.add_instance("laser", "laser")
+
+    def test_empty_name_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(ValueError):
+            netlist.add_instance("", "laser")
+
+    def test_net_to_unknown_instance_rejected(self):
+        netlist = make_chain()
+        with pytest.raises(KeyError):
+            netlist.connect("laser", "ghost")
+
+    def test_self_loop_rejected(self):
+        netlist = make_chain()
+        with pytest.raises(ValueError):
+            netlist.connect("mzm", "mzm")
+
+    def test_chain_needs_two(self):
+        netlist = make_chain()
+        with pytest.raises(ValueError):
+            netlist.chain("laser")
+
+    def test_unknown_instance_lookup(self):
+        netlist = make_chain()
+        with pytest.raises(KeyError):
+            netlist.instance("nope")
+
+    def test_linear_netlist_helper(self):
+        netlist = linear_netlist("lin", [("a", "laser"), ("b", "mzm"), ("c", "pd")])
+        assert netlist.sources() == ["a"]
+        assert netlist.sinks() == ["c"]
+
+
+class TestGraphStructure:
+    def test_sources_and_sinks(self):
+        netlist = make_chain()
+        assert netlist.sources() == ["laser"]
+        assert netlist.sinks() == ["pd"]
+
+    def test_successors_predecessors(self):
+        netlist = make_chain()
+        assert netlist.successors("laser") == ["mzm"]
+        assert netlist.predecessors("pd") == ["mzm"]
+
+    def test_topological_order_is_consistent(self):
+        netlist = make_chain()
+        order = netlist.topological_order()
+        assert order.index("laser") < order.index("mzm") < order.index("pd")
+
+    def test_cycle_detection(self):
+        netlist = make_chain()
+        netlist.connect("pd", "laser")
+        with pytest.raises(ValueError):
+            netlist.topological_order()
+
+    def test_topological_levels(self):
+        netlist = Netlist(name="fanin")
+        for name in ("a", "b", "c", "d"):
+            netlist.add_instance(name, "y_branch")
+        netlist.connect("a", "c")
+        netlist.connect("b", "c")
+        netlist.connect("c", "d")
+        levels = netlist.topological_levels()
+        assert levels[0] == ["a", "b"]
+        assert levels[1] == ["c"]
+        assert levels[2] == ["d"]
+
+    def test_validate_against_library(self, default_library):
+        netlist = make_chain()
+        netlist.validate(device_names=default_library.names())
+        netlist.add_instance("bogus", "not_a_device")
+        with pytest.raises(KeyError):
+            netlist.validate(device_names=default_library.names())
+
+    def test_merge_prefixes_names(self):
+        parent = Netlist(name="parent")
+        child = make_chain()
+        mapping = parent.merge(child, prefix="n0")
+        assert mapping["laser"] == "n0.laser"
+        assert len(parent) == 3
+        assert ("n0.laser", "n0.mzm") in parent.edge_list()
+
+    def test_merge_requires_prefix(self):
+        parent = Netlist()
+        with pytest.raises(ValueError):
+            parent.merge(make_chain(), prefix="")
+
+
+class TestCircuitDAG:
+    def test_critical_path_of_chain(self, default_library):
+        netlist = make_chain()
+        dag = CircuitDAG(netlist, default_library)
+        path = dag.critical_path()
+        assert path.instances == ("laser", "mzm", "pd")
+        expected = (
+            default_library["laser"].insertion_loss_db
+            + default_library["mzm"].insertion_loss_db
+            + default_library["pd"].insertion_loss_db
+        )
+        assert path.insertion_loss_db == pytest.approx(expected)
+
+    def test_loss_multiplier_scales_edge(self, default_library):
+        netlist = make_chain()
+        base = CircuitDAG(netlist, default_library).critical_path().insertion_loss_db
+        scaled = CircuitDAG(
+            netlist, default_library, loss_multipliers={"mzm": 3.0}
+        ).critical_path().insertion_loss_db
+        extra = 2.0 * default_library["mzm"].insertion_loss_db
+        assert scaled == pytest.approx(base + extra)
+
+    def test_multiplier_for_unknown_instance_rejected(self, default_library):
+        with pytest.raises(KeyError):
+            CircuitDAG(make_chain(), default_library, loss_multipliers={"ghost": 2.0})
+
+    def test_negative_multiplier_rejected(self, default_library):
+        with pytest.raises(ValueError):
+            CircuitDAG(make_chain(), default_library, loss_multipliers={"mzm": -1.0})
+
+    def test_branching_takes_lossier_path(self, default_library):
+        netlist = Netlist(name="branch")
+        netlist.add_instance("laser", "laser")
+        netlist.add_instance("low_loss", "y_branch")   # 0.1 dB
+        netlist.add_instance("high_loss", "mzm")       # 4 dB
+        netlist.add_instance("pd", "pd")
+        netlist.connect("laser", "low_loss")
+        netlist.connect("laser", "high_loss")
+        netlist.connect("low_loss", "pd")
+        netlist.connect("high_loss", "pd")
+        path = dagpath = CircuitDAG(netlist, default_library).critical_path()
+        assert "high_loss" in path.instances
+
+    def test_path_insertion_loss_validates_edges(self, default_library):
+        dag = CircuitDAG(make_chain(), default_library)
+        with pytest.raises(ValueError):
+            dag.path_insertion_loss_db(["laser", "pd"])
+
+    def test_single_instance_circuit(self, default_library):
+        netlist = Netlist(name="solo")
+        netlist.add_instance("mzm", "mzm")
+        dag = CircuitDAG(netlist, default_library)
+        path = dag.critical_path()
+        assert path.instances == ("mzm",)
+        assert path.insertion_loss_db == pytest.approx(
+            default_library["mzm"].insertion_loss_db
+        )
+
+    def test_empty_netlist(self, default_library):
+        dag = CircuitDAG(Netlist(name="empty"), default_library)
+        assert dag.critical_path().insertion_loss_db == 0.0
+
+    def test_longest_path_from_source(self, default_library):
+        dag = CircuitDAG(make_chain(), default_library)
+        path = dag.longest_path_from("mzm")
+        assert path.instances[0] == "mzm"
+        assert path.instances[-1] == "pd"
+
+    def test_level_of(self, default_library):
+        dag = CircuitDAG(make_chain(), default_library)
+        assert dag.level_of("laser") == 0
+        assert dag.level_of("pd") == 2
+        with pytest.raises(KeyError):
+            dag.level_of("ghost")
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_chain_loss_is_sum_of_devices(self, length):
+        library = DeviceLibrary.default()
+        netlist = Netlist(name="gen_chain")
+        names = []
+        for i in range(length):
+            name = f"c{i}"
+            netlist.add_instance(name, "crossing")
+            names.append(name)
+        netlist.chain(*names)
+        dag = CircuitDAG(netlist, library)
+        expected = length * library["crossing"].insertion_loss_db
+        assert dag.critical_path().insertion_loss_db == pytest.approx(expected)

@@ -1,0 +1,108 @@
+"""Tests for symbolic scaling rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.scaling import ONE, ScalingRule
+
+PARAMS = {"R": 2, "C": 2, "H": 4, "W": 4, "LAMBDA": 3, "T_ACC": 8}
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert ScalingRule(5).count(PARAMS) == 5
+
+    def test_product(self):
+        assert ScalingRule("R*C*H*W").count(PARAMS) == 64
+
+    def test_paper_mzi_mesh_rule(self):
+        # R*C*H*(H-1)/2 with H=4 -> 2*2*4*3/2 = 24
+        assert ScalingRule("R*C*H*(H-1)/2").count(PARAMS) == 24
+
+    def test_min_function(self):
+        assert ScalingRule("R*C*min(H, W)").count(PARAMS) == 16
+
+    def test_max_with_guard(self):
+        assert ScalingRule("max(C*W-1, 1)").count({"C": 1, "W": 1}) == 1
+
+    def test_ceil_log2(self):
+        assert ScalingRule("ceil(log2(max(H, 2)))").count(PARAMS) == 2
+
+    def test_division_rounds_up(self):
+        assert ScalingRule("H/3").count(PARAMS) == 2
+
+    def test_fractional_duty(self):
+        assert ScalingRule("1/max(T_ACC, 1)").evaluate(PARAMS) == pytest.approx(0.125)
+
+    def test_unknown_parameter_raises_with_context(self):
+        with pytest.raises(KeyError) as err:
+            ScalingRule("R*Q").evaluate(PARAMS)
+        assert "Q" in str(err.value)
+        assert "R" in str(err.value)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("0-5").count(PARAMS)
+
+
+class TestValidation:
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("")
+
+    def test_non_arithmetic_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("__import__('os').system('ls')")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("open('x')")
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("R.__class__")
+
+    def test_string_constant_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("'abc'")
+
+    def test_keyword_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingRule("max(R, default=1)")
+
+    def test_type_error_for_bad_input(self):
+        with pytest.raises(TypeError):
+            ScalingRule([1, 2])
+
+
+class TestComposition:
+    def test_multiplication_operator(self):
+        rule = ScalingRule("R*H") * "LAMBDA"
+        assert rule.count(PARAMS) == 24
+
+    def test_multiplication_with_rule(self):
+        rule = ScalingRule("R") * ScalingRule("C")
+        assert rule.count(PARAMS) == 4
+
+    def test_equality_and_hash(self):
+        assert ScalingRule("R*C") == ScalingRule("R*C")
+        assert hash(ScalingRule("R*C")) == hash(ScalingRule("R*C"))
+        assert ScalingRule("R*C") != ScalingRule("C*R")
+
+    def test_one_constant(self):
+        assert ONE.count(PARAMS) == 1
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_node_count_matches_closed_form(self, r, c, h, w):
+        params = {"R": r, "C": c, "H": h, "W": w}
+        assert ScalingRule("R*C*H*W").count(params) == r * c * h * w
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_count_is_ceiling(self, h):
+        params = {"H": h}
+        assert ScalingRule("H/4").count(params) == -(-h // 4)

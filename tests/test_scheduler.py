@@ -1,0 +1,88 @@
+"""Tests for heterogeneous layer-to-sub-architecture mapping."""
+
+import numpy as np
+import pytest
+
+from repro.arch.architecture import HeterogeneousArchitecture
+from repro.dataflow.gemm import GEMMWorkload
+from repro.dataflow.scheduler import HeterogeneousMapper
+from repro.onn.workload import LayerWorkload
+
+
+def _layer(name, layer_type, ptc=None):
+    return LayerWorkload(
+        gemm=GEMMWorkload(name, m=8, n=8, k=8, layer_type=layer_type),
+        layer_name=name,
+        layer_type=layer_type,
+        ptc_type=ptc,
+    )
+
+
+@pytest.fixture()
+def hybrid_system(scatter_arch, mzi_arch):
+    system = HeterogeneousArchitecture(name="hybrid")
+    system.add("scatter", scatter_arch)
+    system.add("mzi_mesh", mzi_arch)
+    return system
+
+
+class TestRouting:
+    def test_ptc_tag_wins(self, hybrid_system):
+        mapper = HeterogeneousMapper(hybrid_system, type_rules={"conv": "mzi_mesh"})
+        assignments = mapper.assign([_layer("conv1", "conv", ptc="scatter")])
+        assert assignments[0].subarch_key == "scatter"
+
+    def test_type_rule_used_without_tag(self, hybrid_system):
+        mapper = HeterogeneousMapper(
+            hybrid_system, type_rules={"conv": "scatter", "linear": "mzi_mesh"}
+        )
+        assignments = mapper.assign([_layer("conv1", "conv"), _layer("fc1", "linear")])
+        assert assignments[0].subarch_key == "scatter"
+        assert assignments[1].subarch_key == "mzi_mesh"
+
+    def test_default_fallback(self, hybrid_system):
+        mapper = HeterogeneousMapper(hybrid_system, default_subarch="mzi_mesh")
+        assignments = mapper.assign([_layer("attn", "attention")])
+        assert assignments[0].subarch_key == "mzi_mesh"
+
+    def test_unknown_ptc_tag_falls_back(self, hybrid_system):
+        mapper = HeterogeneousMapper(hybrid_system, default_subarch="scatter")
+        assignments = mapper.assign([_layer("x", "linear", ptc="nonexistent")])
+        assert assignments[0].subarch_key == "scatter"
+
+    def test_assignment_carries_arch(self, hybrid_system, scatter_arch):
+        mapper = HeterogeneousMapper(hybrid_system, type_rules={"conv": "scatter"})
+        assignment = mapper.assign([_layer("conv1", "conv")])[0]
+        assert assignment.arch is scatter_arch
+        assert assignment.layer_name == "conv1"
+
+
+class TestPartition:
+    def test_partition_groups_by_subarch(self, hybrid_system):
+        mapper = HeterogeneousMapper(
+            hybrid_system, type_rules={"conv": "scatter", "linear": "mzi_mesh"}
+        )
+        groups = mapper.partition(
+            [_layer("c1", "conv"), _layer("c2", "conv"), _layer("fc", "linear")]
+        )
+        assert len(groups["scatter"]) == 2
+        assert len(groups["mzi_mesh"]) == 1
+
+    def test_partition_contains_all_subarch_keys(self, hybrid_system):
+        mapper = HeterogeneousMapper(hybrid_system)
+        groups = mapper.partition([])
+        assert set(groups) == {"scatter", "mzi_mesh"}
+
+
+class TestValidation:
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMapper(HeterogeneousArchitecture(name="empty"))
+
+    def test_bad_default_rejected(self, hybrid_system):
+        with pytest.raises(KeyError):
+            HeterogeneousMapper(hybrid_system, default_subarch="missing")
+
+    def test_bad_rule_rejected(self, hybrid_system):
+        with pytest.raises(KeyError):
+            HeterogeneousMapper(hybrid_system, type_rules={"conv": "missing"})

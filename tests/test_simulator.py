@@ -1,0 +1,170 @@
+"""Tests for the end-to-end Simulator and SimulationResult."""
+
+import numpy as np
+import pytest
+
+from repro import Simulator, SimulationConfig
+from repro.arch import ArchitectureConfig
+from repro.arch.architecture import HeterogeneousArchitecture
+from repro.arch.templates import build_mzi_mesh, build_scatter, build_tempo
+from repro.dataflow.gemm import GEMMWorkload
+from repro.onn import ONNConversionConfig, convert_to_onn, extract_workloads
+from repro.onn.models import build_mlp
+
+
+class TestSingleArchSimulation:
+    def test_run_gemm_produces_complete_result(self, tempo_arch):
+        sim = Simulator(tempo_arch)
+        result = sim.run_gemm(m=280, k=28, n=280, name="paper_gemm")
+        assert len(result.layers) == 1
+        assert result.total_cycles > 0
+        assert result.total_energy_pj > 0
+        assert result.total_area_mm2 > 0
+        assert result.total_macs == 280 * 28 * 280
+        assert result.memory is not None
+        assert "tempo" in result.link_budgets
+
+    def test_workload_bits_default_to_arch(self, tempo_arch):
+        sim = Simulator(tempo_arch)
+        result = sim.run_gemm(m=8, k=8, n=8)
+        assert result.layers[0].workload.input_bits == tempo_arch.config.input_bits
+
+    def test_list_of_workloads(self, tempo_arch):
+        sim = Simulator(tempo_arch)
+        workloads = [GEMMWorkload(f"g{i}", m=32, k=16, n=32) for i in range(3)]
+        result = sim.run(workloads)
+        assert len(result.layers) == 3
+        assert result.total_cycles == sum(l.total_cycles for l in result.layers)
+
+    def test_empty_workload_list_rejected(self, tempo_arch):
+        with pytest.raises(ValueError):
+            Simulator(tempo_arch).run([])
+
+    def test_energy_breakdown_merges_layers(self, tempo_arch):
+        sim = Simulator(tempo_arch)
+        result = sim.run([GEMMWorkload("a", m=32, k=16, n=32), GEMMWorkload("b", m=16, k=16, n=16)])
+        merged_total = sum(result.energy_breakdown_pj.values())
+        assert merged_total == pytest.approx(
+            sum(l.total_energy_pj for l in result.layers)
+        )
+
+    def test_layer_lookup(self, tempo_arch):
+        result = Simulator(tempo_arch).run(GEMMWorkload("abc", m=8, k=8, n=8))
+        assert result.layer("abc").name == "abc"
+        with pytest.raises(KeyError):
+            result.layer("missing")
+
+    def test_summary_renders(self, tempo_arch):
+        result = Simulator(tempo_arch).run_gemm(m=16, k=16, n=16)
+        text = result.summary()
+        assert "energy breakdown" in text
+        assert "area breakdown" in text
+
+    def test_energy_per_mac_in_reasonable_range(self, tempo_arch):
+        result = Simulator(tempo_arch).run_gemm(m=280, k=28, n=280)
+        # Photonic accelerators land in the 0.1 - 50 pJ/MAC range at system level.
+        assert 0.1 < result.energy_per_mac_pj < 50.0
+
+    def test_config_controls_data_awareness(self, scatter_arch):
+        rng = np.random.default_rng(0)
+        workload = GEMMWorkload(
+            "w", m=64, k=16, n=16, weight_values=rng.normal(0, 0.2, size=(16, 16))
+        )
+        aware = Simulator(scatter_arch, SimulationConfig(data_aware=True)).run(workload)
+        unaware = Simulator(scatter_arch, SimulationConfig(data_aware=False)).run(workload)
+        assert aware.energy_breakdown_pj["PS"] < unaware.energy_breakdown_pj["PS"]
+
+    def test_layout_awareness_increases_area(self, tempo_arch):
+        aware = Simulator(tempo_arch, SimulationConfig(use_layout_aware_area=True)).run_gemm(
+            m=16, k=16, n=16
+        )
+        unaware = Simulator(tempo_arch, SimulationConfig(use_layout_aware_area=False)).run_gemm(
+            m=16, k=16, n=16
+        )
+        assert aware.total_area_mm2 > unaware.total_area_mm2
+
+    def test_excluding_memory(self, tempo_arch):
+        with_mem = Simulator(tempo_arch, SimulationConfig(include_memory=True)).run_gemm(
+            m=32, k=32, n=32
+        )
+        without_mem = Simulator(tempo_arch, SimulationConfig(include_memory=False)).run_gemm(
+            m=32, k=32, n=32
+        )
+        assert "Mem" in with_mem.area_breakdown_mm2
+        assert "Mem" not in without_mem.area_breakdown_mm2
+        assert without_mem.energy_breakdown_pj.get("DM", 0.0) < with_mem.energy_breakdown_pj["DM"]
+
+
+class TestHeterogeneousSimulation:
+    @pytest.fixture()
+    def hybrid_simulator(self):
+        system = HeterogeneousArchitecture(name="hybrid")
+        system.add("scatter", build_scatter())
+        system.add("mzi_mesh", build_mzi_mesh())
+        return Simulator(
+            system,
+            type_rules={"conv": "scatter", "linear": "mzi_mesh"},
+            default_subarch="scatter",
+        )
+
+    def test_layers_routed_by_type(self, hybrid_simulator):
+        workloads = [
+            GEMMWorkload("conv1", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("fc1", m=1, k=64, n=10, layer_type="linear"),
+        ]
+        result = hybrid_simulator.run(workloads)
+        assert result.layer("conv1").arch_name == "scatter"
+        assert result.layer("fc1").arch_name == "mzi_mesh"
+
+    def test_energy_by_arch_partitions_total(self, hybrid_simulator):
+        workloads = [
+            GEMMWorkload("conv1", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("fc1", m=1, k=64, n=10, layer_type="linear"),
+        ]
+        result = hybrid_simulator.run(workloads)
+        by_arch = result.energy_by_arch()
+        assert set(by_arch) == {"scatter", "mzi_mesh"}
+        assert sum(by_arch.values()) == pytest.approx(result.total_energy_pj)
+
+    def test_shared_memory_counted_once_in_area(self, hybrid_simulator):
+        workloads = [
+            GEMMWorkload("conv1", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("fc1", m=1, k=64, n=10, layer_type="linear"),
+        ]
+        result = hybrid_simulator.run(workloads)
+        assert len(result.area_reports) == 2
+        breakdown = result.area_breakdown_mm2
+        assert breakdown["Mem"] == result.memory.onchip_area_mm2
+
+    def test_layers_on_filter(self, hybrid_simulator):
+        workloads = [
+            GEMMWorkload("conv1", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("conv2", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("fc1", m=1, k=64, n=10, layer_type="linear"),
+        ]
+        result = hybrid_simulator.run(workloads)
+        assert len(result.layers_on("scatter")) == 2
+        assert len(result.layers_on("mzi_mesh")) == 1
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(HeterogeneousArchitecture(name="empty"))
+
+
+class TestModelToSimulationPipeline:
+    def test_mlp_end_to_end(self, tempo_arch):
+        model = build_mlp((64, 32, 10))
+        convert_to_onn(model, ONNConversionConfig(default_ptc="tempo"))
+        workloads = extract_workloads(model, np.random.default_rng(0).normal(size=64))
+        result = Simulator(tempo_arch).run(workloads)
+        assert len(result.layers) == 2
+        assert result.total_macs == 64 * 32 + 32 * 10
+        assert result.total_energy_pj > 0
+
+    def test_layer_workloads_carry_values_into_energy(self, scatter_arch):
+        model = build_mlp((32, 16, 4))
+        convert_to_onn(model, ONNConversionConfig(default_ptc="scatter"))
+        workloads = extract_workloads(model, np.random.default_rng(1).normal(size=32))
+        aware = Simulator(scatter_arch, SimulationConfig(data_aware=True)).run(workloads)
+        unaware = Simulator(scatter_arch, SimulationConfig(data_aware=False)).run(workloads)
+        assert aware.total_energy_pj < unaware.total_energy_pj

@@ -1,0 +1,100 @@
+"""Tests for the PTC taxonomy (Table I)."""
+
+import pytest
+
+from repro.arch.taxonomy import (
+    OperandRange,
+    PTCTaxonomyEntry,
+    ReconfigSpeed,
+    TABLE_I,
+    forwards_required,
+)
+
+
+class TestForwardsRequired:
+    def test_full_range_operands_need_one_pass(self):
+        assert forwards_required(OperandRange.FULL_REAL, OperandRange.FULL_REAL) == 1
+
+    def test_one_positive_operand_doubles(self):
+        assert forwards_required(OperandRange.POSITIVE_REAL, OperandRange.FULL_REAL) == 2
+
+    def test_two_positive_operands_quadruple(self):
+        assert forwards_required(OperandRange.POSITIVE_REAL, OperandRange.POSITIVE_REAL) == 4
+
+    def test_complex_operand_does_not_multiply(self):
+        assert forwards_required(OperandRange.FULL_REAL, OperandRange.COMPLEX) == 1
+
+
+class TestTableI:
+    def test_all_paper_rows_present(self):
+        assert set(TABLE_I) == {
+            "mzi_array",
+            "butterfly_mesh",
+            "mrr_array",
+            "pcm_crossbar",
+            "tempo",
+        }
+
+    @pytest.mark.parametrize(
+        "key, forwards",
+        [
+            ("mzi_array", 1),
+            ("butterfly_mesh", 1),
+            ("mrr_array", 2),
+            ("pcm_crossbar", 4),
+            ("tempo", 1),
+        ],
+    )
+    def test_forward_counts_match_paper(self, key, forwards):
+        assert TABLE_I[key].num_forwards == forwards
+
+    def test_tempo_is_fully_dynamic(self):
+        assert TABLE_I["tempo"].is_fully_dynamic
+        assert TABLE_I["tempo"].supports_dynamic_matmul()
+
+    def test_mzi_array_is_weight_static(self):
+        entry = TABLE_I["mzi_array"]
+        assert entry.is_weight_static
+        assert not entry.supports_dynamic_matmul()
+
+    def test_butterfly_is_subspace(self):
+        assert not TABLE_I["butterfly_mesh"].universal
+
+    def test_mrr_array_is_fully_dynamic_but_range_restricted(self):
+        entry = TABLE_I["mrr_array"]
+        assert entry.is_fully_dynamic
+        assert entry.num_forwards == 2
+
+
+class TestEntryValidation:
+    def test_forwards_derived_when_omitted(self):
+        entry = PTCTaxonomyEntry(
+            name="custom",
+            operand_a_range=OperandRange.POSITIVE_REAL,
+            operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+            operand_b_range=OperandRange.POSITIVE_REAL,
+            operand_b_reconfig=ReconfigSpeed.STATIC,
+        )
+        assert entry.num_forwards == 4
+
+    def test_explicit_forwards_kept(self):
+        entry = PTCTaxonomyEntry(
+            name="custom",
+            operand_a_range=OperandRange.FULL_REAL,
+            operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+            operand_b_range=OperandRange.COMPLEX,
+            operand_b_reconfig=ReconfigSpeed.STATIC,
+            num_forwards=2,
+        )
+        assert entry.num_forwards == 2
+
+    def test_invalid_forwards_rejected(self):
+        with pytest.raises(ValueError):
+            PTCTaxonomyEntry(
+                name="bad",
+                operand_a_range=OperandRange.FULL_REAL,
+                operand_a_reconfig=ReconfigSpeed.DYNAMIC,
+                operand_b_range=OperandRange.FULL_REAL,
+                operand_b_reconfig=ReconfigSpeed.DYNAMIC,
+                num_forwards=-1,
+            )

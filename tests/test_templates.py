@@ -1,0 +1,156 @@
+"""Tests for the template architectures (TeMPO, MZI mesh, SCATTER, LT, MRR, butterfly, PCM)."""
+
+import pytest
+
+from repro.arch import ArchitectureConfig, Dataflow, Role
+from repro.arch.templates import (
+    TEMPLATE_BUILDERS,
+    build_butterfly_mesh,
+    build_lightening_transformer,
+    build_mrr_weight_bank,
+    build_mzi_mesh,
+    build_pcm_crossbar,
+    build_scatter,
+    build_tempo,
+)
+
+
+class TestAllTemplates:
+    @pytest.mark.parametrize("name, builder", sorted(TEMPLATE_BUILDERS.items()))
+    def test_builds_and_validates(self, name, builder):
+        arch = builder()
+        assert arch.total_device_count() > 0
+        assert arch.critical_path_loss_db() > 0
+        assert arch.macs_per_cycle() >= 1
+
+    @pytest.mark.parametrize("name, builder", sorted(TEMPLATE_BUILDERS.items()))
+    def test_has_source_and_detector(self, name, builder):
+        arch = builder()
+        assert arch.instances_by_role(Role.LIGHT_SOURCE)
+        assert arch.instances_by_role(Role.DETECTION)
+        assert arch.instances_by_role(Role.READOUT)
+
+    @pytest.mark.parametrize("name, builder", sorted(TEMPLATE_BUILDERS.items()))
+    def test_counts_scale_with_tiles(self, name, builder):
+        small = builder(config=ArchitectureConfig(num_tiles=1), name=f"{name}_1")
+        large = builder(config=ArchitectureConfig(num_tiles=4), name=f"{name}_4")
+        assert large.total_device_count() > small.total_device_count()
+
+
+class TestTempoTemplate:
+    def test_default_matches_paper_validation_setting(self):
+        arch = build_tempo()
+        cfg = arch.config
+        assert (cfg.num_tiles, cfg.cores_per_tile, cfg.core_height, cfg.core_width) == (2, 2, 4, 4)
+        assert cfg.frequency_ghz == 5.0
+
+    def test_scaling_rules(self):
+        arch = build_tempo()
+        counts = arch.device_counts()
+        cfg = arch.config
+        nodes = cfg.num_nodes
+        assert counts["node"] == nodes
+        assert counts["pd"] == nodes
+        assert counts["dac_a"] == cfg.num_tiles * cfg.core_height * cfg.num_wavelengths
+        assert counts["dac_b"] == (
+            cfg.num_tiles * cfg.cores_per_tile * cfg.core_width * cfg.num_wavelengths
+        )
+        assert counts["adc"] == cfg.num_tiles * cfg.core_height * cfg.core_width
+        assert counts["integrator"] == counts["adc"]
+
+    def test_output_stationary_dynamic(self):
+        arch = build_tempo()
+        assert arch.dataflow.stationary is Dataflow.OUTPUT_STATIONARY
+        assert arch.taxonomy.num_forwards == 1
+        assert arch.weight_reconfig_cycles() == 0
+
+    def test_node_netlist_is_fig6_block(self):
+        arch = build_tempo()
+        assert arch.node_netlist is not None
+        assert len(arch.node_netlist) == 5
+        assert arch.node_footprint_sum_um2() > 0
+
+    def test_wavelength_scaling_adds_encoders(self):
+        one = build_tempo(config=ArchitectureConfig(num_wavelengths=1), name="wdm1")
+        four = build_tempo(config=ArchitectureConfig(num_wavelengths=4), name="wdm4")
+        assert four.device_counts()["mzm_a"] == 4 * one.device_counts()["mzm_a"]
+        # Readout does not scale with wavelengths (spectral summation on the PD).
+        assert four.device_counts()["adc"] == one.device_counts()["adc"]
+
+
+class TestMZIMeshTemplate:
+    def test_clements_scaling_rule(self):
+        arch = build_mzi_mesh(config=ArchitectureConfig(core_height=4, core_width=4))
+        counts = arch.device_counts()
+        r, c, h, w = 2, 2, 4, 4
+        assert counts["mzi_u"] == r * c * h * (h - 1) // 2
+        assert counts["mzi_v"] == r * c * w * (w - 1) // 2
+        assert counts["mzi_sigma"] == r * c * min(h, w)
+
+    def test_weight_stationary_with_reconfig(self):
+        arch = build_mzi_mesh()
+        assert arch.dataflow.stationary is Dataflow.WEIGHT_STATIONARY
+        assert arch.dataflow.weight_reuse_requires_reconfig
+        assert arch.weight_reconfig_cycles() > 0
+
+    def test_non_square_mesh(self):
+        arch = build_mzi_mesh(
+            config=ArchitectureConfig(core_height=6, core_width=3), name="rect"
+        )
+        counts = arch.device_counts()
+        assert counts["mzi_sigma"] == 2 * 2 * 3
+
+
+class TestScatterTemplate:
+    def test_phase_shifter_per_weight(self):
+        arch = build_scatter()
+        assert arch.device_counts()["phase_shifter"] == arch.config.num_nodes
+
+    def test_phase_shifter_is_data_dependent(self):
+        arch = build_scatter()
+        ps = arch.instance("phase_shifter")
+        assert ps.data_dependent
+        assert ps.operand == "B"
+
+    def test_custom_p_pi(self):
+        arch = build_scatter(p_pi_mw=10.0)
+        assert arch.library["phase_shifter"].nominal_power_mw() == pytest.approx(10.0)
+
+
+class TestLighteningTransformer:
+    def test_default_matches_fig8_setting(self):
+        arch = build_lightening_transformer()
+        cfg = arch.config
+        assert (cfg.num_tiles, cfg.cores_per_tile) == (4, 2)
+        assert (cfg.core_height, cfg.core_width) == (12, 12)
+        assert cfg.num_wavelengths == 12
+        assert cfg.frequency_ghz == 5.0
+
+    def test_supports_dynamic_matmul(self):
+        arch = build_lightening_transformer()
+        assert arch.taxonomy.supports_dynamic_matmul()
+
+    def test_uses_comb_source(self):
+        arch = build_lightening_transformer()
+        assert arch.instance("comb").device == "microcomb"
+
+
+class TestOtherTaxonomyRows:
+    def test_mrr_bank_two_forwards(self):
+        arch = build_mrr_weight_bank()
+        assert arch.forwards_per_output == 2
+        assert arch.device_counts()["mrr_weight"] == arch.config.num_nodes
+
+    def test_pcm_crossbar_four_forwards_and_reconfig(self):
+        arch = build_pcm_crossbar()
+        assert arch.forwards_per_output == 4
+        assert arch.weight_reconfig_time_ns() >= 100.0
+        assert arch.weight_reconfig_cycles() > 0
+
+    def test_butterfly_log_depth_cell_count(self):
+        arch = build_butterfly_mesh(
+            config=ArchitectureConfig(num_tiles=1, cores_per_tile=1, core_height=8, core_width=8),
+            name="bfly8",
+        )
+        # (H/2) * log2(H) = 4 * 3 = 12 cells for an 8-port butterfly.
+        assert arch.device_counts()["butterfly_cell"] == 12

@@ -1,0 +1,103 @@
+"""Tests for unit conversions and formatting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    db_to_linear,
+    dbm_to_mw,
+    format_si,
+    format_table,
+    linear_to_db,
+    mw_to_dbm,
+)
+from repro.utils.format import format_breakdown
+from repro.utils.units import cycles_to_ns, ns_to_cycles
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_three_db_doubles(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_roundtrip(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_roundtrip_property(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_ten_dbm_is_ten_mw(self):
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_negative_dbm(self):
+        assert dbm_to_mw(-30.0) == pytest.approx(0.001)
+
+    def test_mw_to_dbm_roundtrip(self):
+        assert mw_to_dbm(dbm_to_mw(-12.5)) == pytest.approx(-12.5)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+
+class TestCycleConversions:
+    def test_cycles_to_ns(self):
+        assert cycles_to_ns(10, 5.0) == pytest.approx(2.0)
+
+    def test_ns_to_cycles(self):
+        assert ns_to_cycles(2.0, 5.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert ns_to_cycles(cycles_to_ns(123, 3.2), 3.2) == pytest.approx(123)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            cycles_to_ns(1, 0.0)
+        with pytest.raises(ValueError):
+            ns_to_cycles(1.0, -1.0)
+
+
+class TestFormatting:
+    def test_format_si_zero(self):
+        assert format_si(0, "J") == "0 J"
+
+    def test_format_si_micro(self):
+        assert format_si(2.3e-6, "J") == "2.3 uJ"
+
+    def test_format_si_giga(self):
+        assert "G" in format_si(5.1e9, "Hz")
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All rows have the same rendered width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_format_breakdown_total(self):
+        text = format_breakdown({"x": 1.0, "y": 3.0}, unit="pJ")
+        assert "TOTAL" in text
+        assert "75" in text  # y share is 75%
+
+    def test_format_breakdown_empty_total_is_zero_share(self):
+        text = format_breakdown({"x": 0.0})
+        assert "0.0%" in text
