@@ -16,18 +16,22 @@ The package mirrors the layering of the SimPhony paper (DAC 2025):
   area / link-budget / memory analyzers.
 """
 
+from repro.core.cache import EvaluationCache
+from repro.core.engine import EvaluationEngine
 from repro.core.simulator import Simulator, SimulationResult
 from repro.core.config import SimulationConfig
 from repro.devices.library import DeviceLibrary
 from repro.arch.architecture import Architecture, ArchitectureConfig
 from repro.dataflow.gemm import GEMMWorkload
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Simulator",
     "SimulationResult",
     "SimulationConfig",
+    "EvaluationCache",
+    "EvaluationEngine",
     "DeviceLibrary",
     "Architecture",
     "ArchitectureConfig",

@@ -7,7 +7,15 @@ area analysis, producing a :class:`~repro.core.simulator.SimulationResult` with
 per-component breakdowns.
 """
 
+from repro.core.cache import CacheStats, EvaluationCache
 from repro.core.config import SimulationConfig
+from repro.core.engine import (
+    EvaluationContext,
+    EvaluationEngine,
+    EnginePass,
+    rebind_architecture,
+    resolve_architecture,
+)
 from repro.core.simulator import Simulator, SimulationResult, LayerResult
 from repro.core.energy import EnergyAnalyzer, EnergyReport
 from repro.core.latency import LatencyAnalyzer, LatencyReport
@@ -17,6 +25,13 @@ from repro.core.memory_analyzer import MemoryAnalyzer, MemoryReport
 from repro.core.snr import SNRAnalyzer, SNRReport
 
 __all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "EvaluationContext",
+    "EvaluationEngine",
+    "EnginePass",
+    "rebind_architecture",
+    "resolve_architecture",
     "SNRAnalyzer",
     "SNRReport",
     "SimulationConfig",

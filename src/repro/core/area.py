@@ -58,8 +58,12 @@ class AreaAnalyzer:
     def __init__(self, config: Optional[SimulationConfig] = None) -> None:
         self.config = config or SimulationConfig()
 
-    def _node_areas(self, arch: Architecture, layout_aware: bool) -> tuple:
-        """(per-node area used, naive per-node area) in um^2."""
+    def node_areas(self, arch: Architecture, layout_aware: bool) -> tuple:
+        """(per-node area used, naive per-node area) in um^2.
+
+        Public so the evaluation engine can memoize the floorplan across a sweep
+        (it depends only on the node netlist, device geometry and spacing rules).
+        """
         naive = arch.node_footprint_sum_um2()
         if arch.node_netlist is None:
             return naive, naive
@@ -72,16 +76,22 @@ class AreaAnalyzer:
         planned = floorplanner.area_um2(arch.node_netlist, arch.library)
         return planned, naive
 
+    # Backwards-compatible alias for the pre-engine private name.
+    _node_areas = node_areas
+
     def analyze(
         self,
         arch: Architecture,
         memory_report: Optional[MemoryReport] = None,
         layout_aware: Optional[bool] = None,
+        node_areas: Optional[tuple] = None,
     ) -> AreaReport:
         layout_aware = (
             self.config.use_layout_aware_area if layout_aware is None else layout_aware
         )
-        node_area, node_naive = self._node_areas(arch, layout_aware)
+        if node_areas is None:
+            node_areas = self.node_areas(arch, layout_aware)
+        node_area, node_naive = node_areas
         params = arch.params
         breakdown: Dict[str, float] = {}
         for inst in arch.area_instances():

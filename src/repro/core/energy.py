@@ -74,10 +74,48 @@ class EnergyReport:
 
 
 class EnergyAnalyzer:
-    """Accumulates data-aware device and data-movement energy for one mapping."""
+    """Accumulates data-aware device and data-movement energy for one mapping.
 
-    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+    ``cache`` (an :class:`~repro.core.cache.EvaluationCache`) optionally memoizes
+    the data-aware sub-computations -- workload sparsity, normalized/subsampled
+    operand values and per-device response-model power averages -- keyed by the
+    workload operand digest and the device model, so design-space sweeps that
+    re-simulate the same tensors on many architecture variants compute each
+    average once.  Without a cache the behaviour is exactly the seed analyzer's.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        cache: Optional["EvaluationCache"] = None,
+    ) -> None:
         self.config = config or SimulationConfig()
+        self.cache = cache
+
+    # -- cached data-aware sub-computations ----------------------------------------
+    def _workload_sparsity(self, workload) -> float:
+        if self.cache is None or not self.cache.enabled:
+            return workload.sparsity
+        from repro.core.cache import workload_fingerprint
+
+        key = workload_fingerprint(workload)
+        return self.cache.get_or_compute("sparsity", key, lambda: workload.sparsity)
+
+    def _cached_operand_values(
+        self, mapping: Mapping, operand: Optional[str]
+    ) -> Optional[np.ndarray]:
+        if self.cache is None or not self.cache.enabled or operand is None:
+            return self._operand_values(mapping, operand)
+        from repro.core.cache import workload_fingerprint
+
+        key = (
+            workload_fingerprint(mapping.workload),
+            operand,
+            self.config.value_sample_limit,
+        )
+        return self.cache.get_or_compute(
+            "operand_values", key, lambda: self._operand_values(mapping, operand)
+        )
 
     # -- operand value handling -----------------------------------------------------
     def _operand_values(self, mapping: Mapping, operand: Optional[str]) -> Optional[np.ndarray]:
@@ -115,7 +153,22 @@ class EnergyAnalyzer:
         device = arch.library.get(inst.device)
         if not (data_aware and inst.data_dependent):
             return device.nominal_power_mw()
-        values = self._operand_values(mapping, inst.operand)
+        if self.cache is not None and self.cache.enabled:
+            from repro.core.cache import device_fingerprint, workload_fingerprint
+
+            key = (
+                device_fingerprint(device),
+                inst.operand,
+                workload_fingerprint(mapping.workload),
+                self.config.value_sample_limit,
+            )
+            return self.cache.get_or_compute(
+                "device_power", key, lambda: self._average_power(device, mapping, inst.operand)
+            )
+        return self._average_power(device, mapping, inst.operand)
+
+    def _average_power(self, device, mapping: Mapping, operand: Optional[str]) -> float:
+        values = self._cached_operand_values(mapping, operand)
         if values is None or values.size == 0:
             return device.nominal_power_mw()
         return device.response.average_power_mw(values)
@@ -138,6 +191,7 @@ class EnergyAnalyzer:
         active_cycles = mapping.compute_cycles
         cycle_ns = 1.0 / mapping.frequency_ghz
         workload = mapping.workload
+        sparsity = self._workload_sparsity(workload) if data_aware else 0.0
 
         breakdown: Dict[str, float] = {}
 
@@ -165,7 +219,7 @@ class EnergyAnalyzer:
             if inst.activity is Activity.STATIC:
                 gating = 1.0
                 if data_aware and inst.operand == "B":
-                    gating = max(0.0, 1.0 - workload.sparsity)
+                    gating = max(0.0, 1.0 - sparsity)
                 power = self._device_power_mw(arch, inst, mapping, data_aware)
                 add(label, count * power * duty * gating * compute_time_ns)
 
@@ -174,7 +228,7 @@ class EnergyAnalyzer:
                 if self.config.include_idle_gating:
                     activity_scale *= mapping.utilization
                 if data_aware and inst.role is Role.WEIGHT_ENCODER:
-                    activity_scale *= max(0.0, 1.0 - workload.sparsity)
+                    activity_scale *= max(0.0, 1.0 - sparsity)
                 power = self._device_power_mw(arch, inst, mapping, data_aware)
                 energy_per_cycle = power * cycle_ns + device.energy_per_op_pj
                 add(label, count * energy_per_cycle * active_cycles * activity_scale)
@@ -188,7 +242,7 @@ class EnergyAnalyzer:
                 )
                 scale = 1.0
                 if data_aware:
-                    scale = max(0.0, 1.0 - workload.sparsity)
+                    scale = max(0.0, 1.0 - sparsity)
                 add(label, count * events * write_energy * scale)
 
         # Data movement: dynamic access energy plus buffer leakage over the active

@@ -105,28 +105,54 @@ class LinkBudgetAnalyzer:
                     return device.extinction_ratio_db
         return self.default_extinction_ratio_db
 
-    def _laser(self, arch: Architecture) -> Tuple[float, int]:
-        """Wall-plug efficiency and number of laser/comb-line sources."""
+    def optics_profile(self, arch: Architecture) -> Tuple[float, float, float]:
+        """(PD sensitivity dBm, extinction ratio dB, laser wall-plug efficiency).
+
+        These depend only on the architecture's device models and instance roles
+        -- not on the scaling parameters -- so the evaluation engine memoizes
+        them per shared structure across a design-space sweep.
+        """
         wpe: Optional[float] = None
-        num_sources = 0
-        params = arch.params
         for inst in arch.instances_by_role(Role.LIGHT_SOURCE):
             device = arch.library.get(inst.device)
             if isinstance(device, Laser):
                 wpe = device.wall_plug_efficiency
-            count = inst.instance_count(params)
-            num_sources += count
+        return (
+            self._pd_sensitivity(arch),
+            self._extinction_ratio(arch),
+            wpe if wpe is not None else self.default_wall_plug_efficiency,
+        )
+
+    def num_channels(self, arch: Architecture) -> int:
+        """Laser/comb carrier count: max(physical sources, wavelength channels)."""
+        params = arch.params
+        num_sources = sum(
+            inst.instance_count(params)
+            for inst in arch.instances_by_role(Role.LIGHT_SOURCE)
+        )
         # A single comb source still emits one carrier per wavelength channel.
-        num_channels = max(num_sources, arch.config.num_wavelengths)
-        return wpe if wpe is not None else self.default_wall_plug_efficiency, num_channels
+        return max(num_sources, arch.config.num_wavelengths)
 
     # -- main entry point -------------------------------------------------------------------
-    def analyze(self, arch: Architecture) -> LinkBudgetReport:
-        critical_path = arch.critical_path()
+    def analyze(
+        self,
+        arch: Architecture,
+        critical_path: Optional[CriticalPath] = None,
+        optics: Optional[Tuple[float, float, float]] = None,
+    ) -> LinkBudgetReport:
+        """Derive the link budget.
+
+        ``critical_path`` and ``optics`` (the :meth:`optics_profile` triple) may
+        be supplied pre-computed -- e.g. memoized by the evaluation engine -- to
+        skip the longest-path search and the device-parameter discovery scans.
+        """
+        if critical_path is None:
+            critical_path = arch.critical_path()
+        if optics is None:
+            optics = self.optics_profile(arch)
         insertion_loss = critical_path.insertion_loss_db
-        sensitivity = self._pd_sensitivity(arch)
-        extinction = self._extinction_ratio(arch)
-        wpe, num_channels = self._laser(arch)
+        sensitivity, extinction, wpe = optics
+        num_channels = self.num_channels(arch)
         optical_mw, electrical_mw = required_laser_power_mw(
             insertion_loss_db=insertion_loss,
             pd_sensitivity_dbm=sensitivity,

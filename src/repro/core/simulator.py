@@ -1,169 +1,38 @@
-"""The SimPhony-Sim top-level simulator.
+"""The SimPhony-Sim top-level simulator (compatibility facade).
 
-``Simulator`` ties the layers together: it accepts an architecture (or a
-heterogeneous system of sub-architectures sharing one memory hierarchy) and a
-workload (single GEMM, a list of GEMMs, or the layer workloads extracted from an ONN
-model), and produces a :class:`SimulationResult` with per-layer mappings, latency,
-data-aware energy, link budget, bandwidth-adapted memory and layout-aware area.
+``Simulator`` keeps the seed's one-call API -- accept an architecture (or a
+heterogeneous system), accept a workload set, return a
+:class:`~repro.core.engine.SimulationResult` -- but the actual work now runs in the
+staged :class:`~repro.core.engine.EvaluationEngine` pipeline
+(route -> map -> memory -> link-budget/area -> latency/energy -> aggregate).
+
+By default the facade runs the engine with memoization *disabled*, which executes
+every pass exactly as the seed simulator did.  Pass an
+:class:`~repro.core.cache.EvaluationCache` to opt into cross-run memoization
+(results are bit-identical; workloads are then treated as immutable between runs).
+The result record classes are defined in :mod:`repro.core.engine` and re-exported
+here so existing ``from repro.core.simulator import SimulationResult`` imports keep
+working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.arch.architecture import Architecture, HeterogeneousArchitecture
-from repro.core.area import AreaAnalyzer, AreaReport
+from repro.core.cache import EvaluationCache
 from repro.core.config import SimulationConfig
-from repro.core.energy import EnergyAnalyzer, EnergyReport
-from repro.core.latency import LatencyAnalyzer, LatencyReport
-from repro.core.link_budget import LinkBudgetAnalyzer, LinkBudgetReport
-from repro.core.memory_analyzer import MemoryAnalyzer, MemoryReport
-from repro.core.report import merge_breakdowns, render_breakdown
+from repro.core.engine import (  # noqa: F401  (re-exported for compatibility)
+    EvaluationEngine,
+    LayerResult,
+    SimulationResult,
+    WorkloadLike,
+)
 from repro.dataflow.gemm import GEMMWorkload
-from repro.dataflow.mapping import DataflowMapper, Mapping
-from repro.dataflow.scheduler import HeterogeneousMapper
-from repro.memory.hierarchy import MemoryLevel
-from repro.onn.workload import LayerWorkload
-
-WorkloadLike = Union[GEMMWorkload, LayerWorkload]
-
-
-@dataclass
-class LayerResult:
-    """Per-layer simulation outcome."""
-
-    workload: GEMMWorkload
-    arch_name: str
-    mapping: Mapping
-    latency: LatencyReport
-    energy: EnergyReport
-
-    @property
-    def name(self) -> str:
-        return self.workload.name
-
-    @property
-    def total_cycles(self) -> int:
-        return self.latency.total_cycles
-
-    @property
-    def total_energy_pj(self) -> float:
-        return self.energy.total_pj
-
-
-@dataclass
-class SimulationResult:
-    """Aggregated result of simulating a workload set on an (heterogeneous) system."""
-
-    layers: List[LayerResult] = field(default_factory=list)
-    area_reports: Dict[str, AreaReport] = field(default_factory=dict)
-    link_budgets: Dict[str, LinkBudgetReport] = field(default_factory=dict)
-    memory: Optional[MemoryReport] = None
-    config: SimulationConfig = field(default_factory=SimulationConfig)
-
-    # -- latency -----------------------------------------------------------------
-    @property
-    def total_cycles(self) -> int:
-        return sum(layer.latency.total_cycles for layer in self.layers)
-
-    @property
-    def total_time_ns(self) -> float:
-        return sum(layer.latency.total_time_ns for layer in self.layers)
-
-    @property
-    def total_macs(self) -> int:
-        return sum(layer.workload.num_macs for layer in self.layers)
-
-    @property
-    def effective_tops(self) -> float:
-        if self.total_time_ns <= 0:
-            return 0.0
-        return 2.0 * self.total_macs / self.total_time_ns / 1e3
-
-    # -- energy / power -----------------------------------------------------------
-    @property
-    def energy_breakdown_pj(self) -> Dict[str, float]:
-        return merge_breakdowns(layer.energy.breakdown_pj for layer in self.layers)
-
-    @property
-    def total_energy_pj(self) -> float:
-        return sum(self.energy_breakdown_pj.values())
-
-    @property
-    def total_energy_uj(self) -> float:
-        return self.total_energy_pj / 1e6
-
-    @property
-    def average_power_mw(self) -> Dict[str, float]:
-        time_ns = self.total_time_ns
-        if time_ns <= 0:
-            return {}
-        return {key: value / time_ns for key, value in self.energy_breakdown_pj.items()}
-
-    @property
-    def total_power_w(self) -> float:
-        return sum(self.average_power_mw.values()) / 1e3
-
-    @property
-    def energy_per_mac_pj(self) -> float:
-        macs = self.total_macs
-        return self.total_energy_pj / macs if macs else 0.0
-
-    # -- area ---------------------------------------------------------------------
-    @property
-    def area_breakdown_mm2(self) -> Dict[str, float]:
-        merged = merge_breakdowns(
-            {k: v for k, v in report.breakdown_mm2.items() if k != "Mem"}
-            for report in self.area_reports.values()
-        )
-        if self.memory is not None and self.config.include_memory:
-            merged["Mem"] = self.memory.onchip_area_mm2
-        return merged
-
-    @property
-    def total_area_mm2(self) -> float:
-        return sum(self.area_breakdown_mm2.values())
-
-    # -- per-layer / per-arch views ----------------------------------------------------
-    def layers_on(self, arch_name: str) -> List[LayerResult]:
-        return [layer for layer in self.layers if layer.arch_name == arch_name]
-
-    def layer(self, name: str) -> LayerResult:
-        for layer in self.layers:
-            if layer.name == name:
-                return layer
-        raise KeyError(f"no simulated layer named {name!r}")
-
-    def energy_by_arch(self) -> Dict[str, float]:
-        by_arch: Dict[str, float] = {}
-        for layer in self.layers:
-            by_arch[layer.arch_name] = by_arch.get(layer.arch_name, 0.0) + layer.total_energy_pj
-        return by_arch
-
-    # -- rendering ------------------------------------------------------------------------
-    def summary(self) -> str:
-        lines = [
-            f"layers simulated    : {len(self.layers)}",
-            f"total MACs          : {self.total_macs}",
-            f"total cycles        : {self.total_cycles}",
-            f"total time          : {self.total_time_ns:.1f} ns",
-            f"total energy        : {self.total_energy_uj:.4f} uJ",
-            f"average power       : {self.total_power_w:.3f} W",
-            f"energy per MAC      : {self.energy_per_mac_pj:.3f} pJ",
-            f"total area          : {self.total_area_mm2:.3f} mm2",
-            "",
-            "energy breakdown (pJ):",
-            render_breakdown(self.energy_breakdown_pj, unit="pJ"),
-            "",
-            "area breakdown (mm2):",
-            render_breakdown(self.area_breakdown_mm2, unit="mm2"),
-        ]
-        return "\n".join(lines)
 
 
 class Simulator:
-    """End-to-end EPIC AI system simulator."""
+    """End-to-end EPIC AI system simulator: a thin facade over the engine."""
 
     def __init__(
         self,
@@ -171,112 +40,29 @@ class Simulator:
         config: Optional[SimulationConfig] = None,
         type_rules: Optional[Dict[str, str]] = None,
         default_subarch: Optional[str] = None,
+        cache: Optional[EvaluationCache] = None,
     ) -> None:
-        self.config = config or SimulationConfig()
-        if isinstance(system, Architecture):
-            self.system = HeterogeneousArchitecture(name=system.name, subarchs={system.name: system})
-            self._single_arch: Optional[Architecture] = system
-        else:
-            if len(system) == 0:
-                raise ValueError("heterogeneous system has no sub-architectures")
-            self.system = system
-            self._single_arch = None
-        self.type_rules = type_rules or {}
-        self.default_subarch = default_subarch
-        self.mapper = DataflowMapper()
-        self.latency_analyzer = LatencyAnalyzer()
-        self.energy_analyzer = EnergyAnalyzer(self.config)
-        self.area_analyzer = AreaAnalyzer(self.config)
-        self.link_budget_analyzer = LinkBudgetAnalyzer()
-        self.memory_analyzer = MemoryAnalyzer(self.config)
-
-    # -- workload normalization / routing ------------------------------------------------
-    def _normalize(self, workloads: Union[WorkloadLike, Sequence[WorkloadLike]]) -> List[WorkloadLike]:
-        if isinstance(workloads, (GEMMWorkload, LayerWorkload)):
-            return [workloads]
-        items = list(workloads)
-        if not items:
-            raise ValueError("no workloads to simulate")
-        return items
-
-    def _route(self, workloads: List[WorkloadLike]) -> List[tuple]:
-        """Return (gemm, architecture) pairs for every workload."""
-        if self._single_arch is not None:
-            arch = self._single_arch
-            return [
-                (w.gemm if isinstance(w, LayerWorkload) else w, arch) for w in workloads
-            ]
-        layer_workloads = [
-            w if isinstance(w, LayerWorkload) else LayerWorkload(
-                gemm=w, layer_name=w.name, layer_type=w.layer_type
-            )
-            for w in workloads
-        ]
-        het_mapper = HeterogeneousMapper(
-            self.system, type_rules=self.type_rules, default_subarch=self.default_subarch
+        self.engine = EvaluationEngine(
+            system,
+            config,
+            type_rules=type_rules,
+            default_subarch=default_subarch,
+            cache=cache if cache is not None else EvaluationCache(enabled=False),
         )
-        return [(a.workload.gemm, a.arch) for a in het_mapper.assign(layer_workloads)]
+        # Mirrored attributes kept for API compatibility with the seed simulator.
+        self.config = self.engine.config
+        self.system = self.engine.system
+        self.type_rules = self.engine.type_rules
+        self.default_subarch = self.engine.default_subarch
+        self._single_arch = self.engine.single_arch
+
+    @property
+    def cache(self) -> EvaluationCache:
+        return self.engine.cache
 
     # -- main entry point --------------------------------------------------------------------
     def run(self, workloads: Union[WorkloadLike, Sequence[WorkloadLike]]) -> SimulationResult:
-        routed = self._route(self._normalize(workloads))
-
-        # Map every workload on its architecture.
-        mappings: List[tuple] = []
-        for gemm, arch in routed:
-            mappings.append((gemm, arch, self.mapper.map(gemm, arch)))
-
-        # Shared, bandwidth-adapted memory hierarchy across the whole workload set.
-        all_mappings = [m for _, _, m in mappings]
-        reference_arch = mappings[0][1]
-        memory_report = self.memory_analyzer.analyze(all_mappings, reference_arch)
-        hierarchy = memory_report.hierarchy
-        memory_leakage_mw = (
-            memory_report.onchip_leakage_mw if self.config.include_memory else 0.0
-        )
-
-        # Link budgets and area, once per distinct sub-architecture.
-        link_budgets: Dict[str, LinkBudgetReport] = {}
-        area_reports: Dict[str, AreaReport] = {}
-        for _, arch, _ in mappings:
-            if arch.name not in link_budgets:
-                link_budgets[arch.name] = self.link_budget_analyzer.analyze(arch)
-                area_reports[arch.name] = self.area_analyzer.analyze(
-                    arch, memory_report=memory_report
-                )
-
-        layers: List[LayerResult] = []
-        for gemm, arch, mapping in mappings:
-            latency = self.latency_analyzer.analyze(mapping, hierarchy)
-            layer_memory_pj = sum(
-                hierarchy.access_energy_pj(level, bits)
-                for level, bits in mapping.traffic_bits.items()
-                if bits > 0
-            ) if self.config.include_memory else 0.0
-            energy = self.energy_analyzer.analyze(
-                arch,
-                mapping,
-                link_budget=link_budgets[arch.name],
-                memory_energy_pj=layer_memory_pj,
-                memory_static_power_mw=memory_leakage_mw,
-            )
-            layers.append(
-                LayerResult(
-                    workload=gemm,
-                    arch_name=arch.name,
-                    mapping=mapping,
-                    latency=latency,
-                    energy=energy,
-                )
-            )
-
-        return SimulationResult(
-            layers=layers,
-            area_reports=area_reports,
-            link_budgets=link_budgets,
-            memory=memory_report,
-            config=self.config,
-        )
+        return self.engine.run(workloads)
 
     # -- conveniences ---------------------------------------------------------------------------
     def run_gemm(

@@ -104,10 +104,22 @@ class Mapping:
 
 
 class DataflowMapper:
-    """Maps GEMM workloads onto architectures following their dataflow specs."""
+    """Maps GEMM workloads onto architectures following their dataflow specs.
 
-    def __init__(self, max_integration_cycles: Optional[int] = None) -> None:
+    ``cache`` (an :class:`~repro.core.cache.EvaluationCache`) optionally memoizes
+    whole mappings on the *resolved* mapping inputs -- the workload digest, the
+    evaluated parallel dimensions, the forwards multiplier, the integration limit
+    and the reconfiguration model -- so two architecture configurations that
+    resolve to the same dataflow share one mapping record.
+    """
+
+    def __init__(
+        self,
+        max_integration_cycles: Optional[int] = None,
+        cache: Optional["EvaluationCache"] = None,
+    ) -> None:
         self.max_integration_cycles = max_integration_cycles
+        self.cache = cache
 
     # -- helpers -----------------------------------------------------------------------
     def _integration_limit(self, arch: Architecture) -> int:
@@ -136,8 +148,44 @@ class DataflowMapper:
     # -- main entry point ------------------------------------------------------------------
     def map(self, workload: GEMMWorkload, arch: Architecture) -> Mapping:
         """Map ``workload`` onto ``arch`` and return the mapping record."""
-        params = arch.params
-        dims = arch.dataflow.parallel_dims(params)
+        if self.cache is not None and self.cache.enabled:
+            from repro.core.cache import workload_fingerprint
+            from repro.core.engine import structure_token
+
+            # Integration limit and reconfig time scan device models only, so
+            # they are constant per shared architecture structure.
+            token = structure_token(arch)
+            limits = self.cache.get_or_compute(
+                "mapper_limits",
+                (token, self.max_integration_cycles),
+                lambda: (self._integration_limit(arch), arch.weight_reconfig_cycles()),
+            )
+            dims = arch.dataflow.parallel_dims(arch.params)
+            key = (
+                workload_fingerprint(workload),
+                arch.name,
+                dims["M"],
+                dims["N"],
+                dims["K"],
+                arch.forwards_per_output,
+                limits,
+                arch.dataflow.stationary.value,
+                arch.dataflow.weight_reuse_requires_reconfig,
+                arch.frequency_ghz,
+            )
+            return self.cache.get_or_compute(
+                "map", key, lambda: self._map_impl(workload, arch, dims)
+            )
+        return self._map_impl(workload, arch)
+
+    def _map_impl(
+        self,
+        workload: GEMMWorkload,
+        arch: Architecture,
+        dims: Optional[Dict[str, int]] = None,
+    ) -> Mapping:
+        if dims is None:
+            dims = arch.dataflow.parallel_dims(arch.params)
         m_par, n_par, k_par = dims["M"], dims["N"], dims["K"]
 
         m_iters = math.ceil(workload.m / m_par)

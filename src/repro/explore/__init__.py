@@ -1,8 +1,11 @@
 """Automated design-space exploration (the paper's stated future extension).
 
 Sweeps architecture parameters (tiles, cores, core size, wavelengths, bitwidths,
-clock) over a grid, simulates a workload set at every design point, and extracts the
-Pareto frontier over the energy / latency / area objectives.
+clock) with pluggable search strategies (grid / random / coordinate descent),
+evaluates every design point through the shared memoized
+:class:`~repro.core.engine.EvaluationEngine` -- optionally in parallel with
+deterministic result ordering -- and extracts the Pareto frontier over the
+energy / latency / area objectives.
 """
 
 from repro.explore.dse import (
@@ -12,11 +15,23 @@ from repro.explore.dse import (
     ExplorationResult,
     pareto_front,
 )
+from repro.explore.search import (
+    CoordinateDescent,
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    STRATEGIES,
+)
 
 __all__ = [
+    "CoordinateDescent",
     "DesignPoint",
     "DesignSpace",
     "DesignSpaceExplorer",
     "ExplorationResult",
+    "GridSearch",
+    "RandomSearch",
+    "STRATEGIES",
+    "SearchStrategy",
     "pareto_front",
 ]

@@ -1,33 +1,52 @@
-"""Grid-based design-space exploration over PTC architecture parameters.
+"""Strategy-driven design-space exploration over PTC architecture parameters.
 
 The paper positions SimPhony as the evaluation engine for architecture exploration
 and names automated design-space exploration as a future extension; this module
-provides that loop:
+provides that loop on top of the staged :class:`~repro.core.engine.EvaluationEngine`:
 
 1. :class:`DesignSpace` declares the swept `ArchitectureConfig` fields and their
    candidate values;
-2. :class:`DesignSpaceExplorer` instantiates a template architecture at every grid
-   point, simulates the workload set, and records energy / latency / area /
-   laser-power metrics as :class:`DesignPoint` records;
-3. :func:`pareto_front` extracts the non-dominated points over any subset of the
-   (minimize-all) objectives.
+2. :class:`DesignSpaceExplorer` resolves a template architecture at every proposed
+   point (rebinding the symbolic structure instead of rebuilding it where the
+   engine's cache allows), simulates the workload set through the shared memoized
+   pass pipeline, and records energy / latency / area / laser-power metrics as
+   :class:`DesignPoint` records;
+3. search strategies (:mod:`repro.explore.search`) decide which points to visit:
+   exhaustive :class:`~repro.explore.search.GridSearch`, sampled
+   :class:`~repro.explore.search.RandomSearch` or feedback-driven
+   :class:`~repro.explore.search.CoordinateDescent`, all sharing one evaluation
+   cache and an optional ``concurrent.futures`` thread pool with deterministic
+   result ordering;
+4. :func:`pareto_front` extracts the non-dominated points over any subset of the
+   (minimize-all) objectives with an incremental sweep instead of the seed's
+   all-pairs scan.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.arch.architecture import Architecture, ArchitectureConfig
+from repro.core.cache import (
+    CacheStats,
+    EvaluationCache,
+    config_fingerprint,
+    fingerprint,
+    workload_fingerprint,
+)
 from repro.core.config import SimulationConfig
-from repro.core.simulator import Simulator
+from repro.core.engine import EvaluationEngine, builder_key, resolve_architecture
 from repro.dataflow.gemm import GEMMWorkload
+from repro.explore.search import SearchStrategy, resolve_strategy
 from repro.onn.workload import LayerWorkload
 
 ArchBuilder = Callable[..., Architecture]
 WorkloadSet = Sequence[object]
+ProgressCallback = Callable[["DesignPoint", int, int], None]
 
 
 @dataclass(frozen=True)
@@ -89,10 +108,19 @@ class DesignSpace:
 
 @dataclass
 class ExplorationResult:
-    """All evaluated design points plus convenience queries."""
+    """All evaluated design points plus convenience queries.
+
+    ``points`` holds each distinct visited design once, in first-visit order;
+    ``evaluations`` counts every evaluation a strategy requested (revisits
+    included -- they are cache hits); ``cache_stats`` snapshots the shared
+    engine cache's per-pass hit/miss counters at the end of the exploration.
+    """
 
     points: List[DesignPoint] = field(default_factory=list)
     objectives: Sequence[str] = ("energy_uj", "latency_ns", "area_mm2")
+    evaluations: int = 0
+    strategy: str = "grid"
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -124,18 +152,47 @@ class ExplorationResult:
 
 
 def pareto_front(points: Sequence[DesignPoint], objectives: Sequence[str]) -> List[DesignPoint]:
-    """Non-dominated subset of ``points`` under minimize-all ``objectives``."""
+    """Non-dominated subset of ``points`` under minimize-all ``objectives``.
+
+    Processes candidates in lexicographic objective order and tests each only
+    against the incumbent non-dominated set: any dominator of a point sorts
+    strictly before it (all objectives <=, one <, so its objective tuple is
+    lexicographically smaller), and by transitivity a dominated point is always
+    dominated by some *maximal* point, which is already in the front when the
+    candidate arrives.  That replaces the seed's all-pairs scan (every candidate
+    against all n points, dominated ones included) with an
+    ``O(n log n + n * |front|)`` sweep.  Output preserves input order, ties and
+    duplicates exactly like the brute-force version.
+    """
     if not objectives:
         raise ValueError("need at least one objective")
-    front: List[DesignPoint] = []
-    for candidate in points:
-        if not any(other.dominates(candidate, objectives) for other in points):
-            front.append(candidate)
-    return front
+    keyed = sorted(
+        range(len(points)),
+        key=lambda i: tuple(points[i].objective(o) for o in objectives),
+    )
+    front_indices: List[int] = []
+    for index in keyed:
+        candidate = points[index]
+        if not any(points[j].dominates(candidate, objectives) for j in front_indices):
+            front_indices.append(index)
+    return [points[i] for i in sorted(front_indices)]
 
 
 class DesignSpaceExplorer:
-    """Sweeps a template architecture over a design space for a fixed workload set."""
+    """Sweeps a template architecture over a design space for a fixed workload set.
+
+    All design points share one :class:`~repro.core.cache.EvaluationCache`: the
+    engine's staged passes memoize on canonical input fingerprints, so a sweep
+    that varies one parameter only re-runs the passes that parameter invalidates
+    (``cache=False`` restores the seed's build-everything-per-point behaviour).
+    The default cache retains every visited point's pass results; for very large
+    sweeps bound its footprint with ``cache_max_entries`` (oldest entries are
+    evicted first) or pass a pre-configured ``EvaluationCache`` instance.
+    ``max_workers`` > 1 evaluates each strategy batch on a
+    ``concurrent.futures`` thread pool; results are collected with
+    ``Executor.map``, so point ordering -- and therefore every recorded value --
+    is identical to a serial run.
+    """
 
     def __init__(
         self,
@@ -143,6 +200,9 @@ class DesignSpaceExplorer:
         workloads: WorkloadSet,
         base_config: Optional[ArchitectureConfig] = None,
         sim_config: Optional[SimulationConfig] = None,
+        cache: object = True,
+        max_workers: Optional[int] = None,
+        cache_max_entries: Optional[int] = None,
     ) -> None:
         workloads = list(workloads)
         if not workloads:
@@ -153,20 +213,71 @@ class DesignSpaceExplorer:
                     "workloads must be GEMMWorkload or LayerWorkload instances, "
                     f"got {type(workload).__name__}"
                 )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when given")
         self.builder = builder
         self.workloads = workloads
         self.base_config = base_config or ArchitectureConfig()
         self.sim_config = sim_config or SimulationConfig()
+        if isinstance(cache, EvaluationCache):
+            if cache_max_entries is not None:
+                raise ValueError("pass cache_max_entries or a pre-built cache, not both")
+            self.cache = cache
+        else:
+            self.cache = EvaluationCache(
+                enabled=bool(cache), max_entries=cache_max_entries
+            )
+        self.max_workers = max_workers
+        self._workloads_key = None
+        self._engine: Optional[EvaluationEngine] = None
+        self._builder_key = builder_key(builder)
 
     def _config_for(self, overrides: Mapping[str, object]) -> ArchitectureConfig:
         return dataclasses.replace(self.base_config, **overrides)
 
+    def _workload_set_key(self) -> tuple:
+        if self._workloads_key is None:
+            self._workloads_key = tuple(workload_fingerprint(w) for w in self.workloads)
+        return self._workloads_key
+
+    # -- single-point evaluation -----------------------------------------------------
     def evaluate(self, overrides: Mapping[str, object]) -> DesignPoint:
-        """Simulate a single design point and return its objective record."""
-        config = self._config_for(overrides)
-        arch = self.builder(config=config, name=f"{config.name}_dse")
-        simulator = Simulator(arch, self.sim_config)
-        result = simulator.run(self.workloads)
+        """Simulate a single design point and return its objective record.
+
+        The whole point is memoized on (builder, config, workloads, sim config),
+        so strategies may propose the same point repeatedly for free.
+        """
+        if not self.cache.enabled:
+            return self._evaluate_config(self._config_for(overrides), overrides)
+        # Key on (base config, overrides) directly: on a hit the ArchitectureConfig
+        # is never even constructed.
+        key = fingerprint(
+            "design_point",
+            self._builder_key,
+            config_fingerprint(self.base_config),
+            tuple(sorted(overrides.items())),
+            self._workload_set_key(),
+            config_fingerprint(self.sim_config),
+        )
+        return self.cache.get_or_compute(
+            "design_point",
+            key,
+            lambda: self._evaluate_config(self._config_for(overrides), overrides),
+        )
+
+    def _evaluate_config(
+        self, config: ArchitectureConfig, overrides: Mapping[str, object]
+    ) -> DesignPoint:
+        arch = resolve_architecture(
+            self.builder, config, name=f"{config.name}_dse", cache=self.cache
+        )
+        engine = self._engine
+        if engine is None:
+            # One engine serves every design point (analyzers are stateless and
+            # the cache is thread-safe); a benign race may build two, one wins.
+            engine = EvaluationEngine(arch, self.sim_config, cache=self.cache)
+            self._engine = engine
+        result = engine.run_for(arch, self.workloads)
         link = next(iter(result.link_budgets.values()))
         return DesignPoint(
             parameters=dict(overrides),
@@ -178,7 +289,76 @@ class DesignSpaceExplorer:
             energy_per_mac_pj=result.energy_per_mac_pj,
         )
 
-    def explore(self, space: DesignSpace) -> ExplorationResult:
-        """Evaluate every point in the design space grid."""
-        points = [self.evaluate(overrides) for overrides in space.grid()]
-        return ExplorationResult(points=points)
+    # -- exploration loop ------------------------------------------------------------
+    def explore(
+        self,
+        space: DesignSpace,
+        strategy: object = None,
+        progress: Optional[ProgressCallback] = None,
+        max_evaluations: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Evaluate the design points a strategy proposes (default: the full grid).
+
+        ``progress(point, num_evaluated, space_size)`` streams every completed
+        evaluation in deterministic order; ``max_evaluations`` is an early-stop
+        budget on strategy-requested evaluations; ``max_workers`` overrides the
+        explorer-level setting for this call.
+        """
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError("max_evaluations must be positive when given")
+        search: SearchStrategy = resolve_strategy(strategy)
+        search.reset()
+        workers = max_workers if max_workers is not None else self.max_workers
+        space_size = space.size()
+
+        history: List[DesignPoint] = []
+        points: List[DesignPoint] = []
+        seen_params: set = set()
+        evaluations = 0
+
+        def record_batch(batch_points: List[DesignPoint]) -> None:
+            for point in batch_points:
+                history.append(point)
+                params_key = tuple(sorted((k, repr(v)) for k, v in point.parameters.items()))
+                if params_key not in seen_params:
+                    seen_params.add(params_key)
+                    points.append(point)
+                if progress is not None:
+                    progress(point, len(history), space_size)
+
+        executor = (
+            ThreadPoolExecutor(max_workers=workers) if workers is not None and workers > 1
+            else None
+        )
+        try:
+            while True:
+                batch = search.propose(space, history)
+                if not batch:
+                    break
+                if max_evaluations is not None:
+                    remaining = max_evaluations - evaluations
+                    batch = batch[:remaining]
+                    if not batch:
+                        break
+                if executor is not None:
+                    batch_points = list(executor.map(self.evaluate, batch))
+                else:
+                    batch_points = [self.evaluate(overrides) for overrides in batch]
+                evaluations += len(batch)
+                record_batch(batch_points)
+                if max_evaluations is not None and evaluations >= max_evaluations:
+                    break
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+        return ExplorationResult(
+            points=points,
+            evaluations=evaluations,
+            strategy=search.name,
+            cache_stats={
+                stage: CacheStats(hits=stats.hits, misses=stats.misses)
+                for stage, stats in self.cache.stats.items()
+            },
+        )

@@ -66,6 +66,13 @@ class ScalingRule:
         # Parse eagerly so malformed expressions fail at definition time.
         self._tree = ast.parse(self.expression, mode="eval")
         self._validate(self._tree.body)
+        variables: set = set()
+        self._collect_variables(self._tree.body, variables)
+        self._variables = tuple(sorted(variables))
+        # Memo of evaluate() results keyed by the referenced parameter values --
+        # rules are evaluated with the same handful of parameter combinations
+        # over and over during analysis sweeps.
+        self._eval_memo: dict = {}
 
     # -- validation ------------------------------------------------------------
     def _validate(self, node: ast.AST) -> None:
@@ -104,6 +111,24 @@ class ScalingRule:
                 f"{self.expression!r}"
             )
 
+    def _collect_variables(self, node: ast.AST, out: set) -> None:
+        """Names referenced as parameters (call targets like ``max`` excluded)."""
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.BinOp):
+            self._collect_variables(node.left, out)
+            self._collect_variables(node.right, out)
+        elif isinstance(node, ast.UnaryOp):
+            self._collect_variables(node.operand, out)
+        elif isinstance(node, ast.Call):
+            for arg in node.args:
+                self._collect_variables(arg, out)
+
+    @property
+    def variables(self) -> tuple:
+        """Sorted parameter names this expression depends on."""
+        return self._variables
+
     # -- evaluation ------------------------------------------------------------
     def _eval(self, node: ast.AST, params: Mapping[str, float]) -> float:
         if isinstance(node, ast.Constant):
@@ -129,8 +154,23 @@ class ScalingRule:
         raise AssertionError(f"unvalidated node {node!r}")  # pragma: no cover
 
     def evaluate(self, params: Mapping[str, float]) -> float:
-        """Evaluate the expression with the given architecture parameters."""
-        return self._eval(self._tree.body, params)
+        """Evaluate the expression with the given architecture parameters.
+
+        Results are memoized per referenced-parameter values: analyses evaluate
+        the same rule with the same handful of parameter combinations many times
+        per run (and design-space sweeps many times per sweep).
+        """
+        try:
+            key = tuple(params[name] for name in self._variables)
+        except KeyError:
+            # Missing parameter: fall through for the detailed _eval error.
+            return self._eval(self._tree.body, params)
+        cached = self._eval_memo.get(key)
+        if cached is None:
+            if len(self._eval_memo) >= 4096:  # bound pathological sweeps
+                self._eval_memo.clear()
+            cached = self._eval_memo[key] = self._eval(self._tree.body, params)
+        return cached
 
     def count(self, params: Mapping[str, float]) -> int:
         """Evaluate and round up to an integer instance count (never negative)."""

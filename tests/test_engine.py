@@ -1,0 +1,365 @@
+"""Tests for the staged EvaluationEngine, its cache and the Simulator facade."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, Simulator
+from repro.arch import ArchitectureConfig
+from repro.arch.templates import build_scatter, build_tempo
+from repro.core.cache import (
+    CacheStats,
+    EvaluationCache,
+    canonical_value,
+    fingerprint,
+    workload_fingerprint,
+)
+from repro.core.engine import (
+    AggregatePass,
+    EvaluationEngine,
+    LayerAnalysisPass,
+    LinkBudgetPass,
+    MapPass,
+    MemoryPass,
+    RoutePass,
+    rebind_architecture,
+    resolve_architecture,
+)
+from repro.dataflow.gemm import GEMMWorkload
+from repro.explore import DesignSpace, DesignSpaceExplorer
+
+
+def paper_like_workload(seed: int = 0) -> GEMMWorkload:
+    rng = np.random.default_rng(seed)
+    return GEMMWorkload(
+        "w", m=64, k=16, n=32,
+        weight_values=rng.normal(0, 0.25, size=(16, 32)),
+        input_values=rng.normal(0, 0.5, size=(64, 16)),
+    )
+
+
+def result_signature(result):
+    """Value-exact signature of a simulation result for equality checks."""
+    return (
+        tuple(sorted(result.energy_breakdown_pj.items())),
+        tuple(sorted(result.area_breakdown_mm2.items())),
+        result.total_cycles,
+        result.total_time_ns,
+        {name: lb.total_laser_electrical_power_mw for name, lb in result.link_budgets.items()},
+    )
+
+
+class TestEvaluationCache:
+    def test_hit_miss_accounting(self):
+        cache = EvaluationCache()
+        calls = []
+        assert cache.get_or_compute("s", "k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute("s", "k", lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1
+        assert cache.stats["s"].hits == 1
+        assert cache.stats["s"].misses == 1
+        assert cache.stats["s"].hit_rate == 0.5
+
+    def test_disabled_cache_always_recomputes(self):
+        cache = EvaluationCache(enabled=False)
+        values = iter([1, 2])
+        assert cache.get_or_compute("s", "k", lambda: next(values)) == 1
+        assert cache.get_or_compute("s", "k", lambda: next(values)) == 2
+        assert len(cache) == 0
+        assert cache.stats["s"].misses == 2
+
+    def test_clear_resets(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("s", "k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {}
+
+    def test_max_entries_evicts_oldest(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.get_or_compute("s", 1, lambda: "a")
+        cache.get_or_compute("s", 2, lambda: "b")
+        cache.get_or_compute("s", 3, lambda: "c")
+        assert len(cache) == 2
+        # Key 1 was evicted: recomputing counts a miss.
+        cache.get_or_compute("s", 1, lambda: "a2")
+        assert cache.stats["s"].misses == 4
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+class TestCanonicalHashing:
+    def test_scalars_pass_through(self):
+        assert canonical_value(3) == 3
+        assert canonical_value("x") == "x"
+        assert canonical_value(2.5) == 2.5
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_ndarray_value_exact(self):
+        a = np.arange(6, dtype=float)
+        b = np.arange(6, dtype=float)
+        assert fingerprint(a) == fingerprint(b)
+        b[3] += 1e-12
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_dataclass_fields_hashed(self):
+        c1 = ArchitectureConfig(core_height=4)
+        c2 = ArchitectureConfig(core_height=4)
+        c3 = ArchitectureConfig(core_height=8)
+        assert fingerprint(c1) == fingerprint(c2)
+        assert fingerprint(c1) != fingerprint(c3)
+
+    def test_workload_fingerprint_covers_values(self):
+        w1 = paper_like_workload(0)
+        w2 = paper_like_workload(0)
+        w3 = paper_like_workload(1)
+        assert workload_fingerprint(w1) == workload_fingerprint(w2)
+        assert workload_fingerprint(w1) != workload_fingerprint(w3)
+        # memoized on the object after first computation
+        assert getattr(w1, "_repro_fingerprint") == workload_fingerprint(w1)
+
+
+class TestEngineFacadeEquivalence:
+    def test_facade_matches_cached_engine(self, tempo_arch):
+        workload = paper_like_workload()
+        facade = Simulator(tempo_arch).run(workload)
+        engine = EvaluationEngine(tempo_arch, cache=EvaluationCache())
+        cached = engine.run(workload)
+        assert result_signature(facade) == result_signature(cached)
+        # A second run through the same engine is served from cache, identically.
+        again = engine.run(workload)
+        assert result_signature(again) == result_signature(cached)
+
+    def test_heterogeneous_run_through_engine(self):
+        from repro.arch.architecture import HeterogeneousArchitecture
+        from repro.arch.templates import build_mzi_mesh
+
+        system = HeterogeneousArchitecture(name="hybrid")
+        system.add("scatter", build_scatter())
+        system.add("mzi_mesh", build_mzi_mesh())
+        workloads = [
+            GEMMWorkload("conv1", m=64, k=27, n=16, layer_type="conv"),
+            GEMMWorkload("fc1", m=1, k=64, n=10, layer_type="linear"),
+        ]
+        engine = EvaluationEngine(
+            system, type_rules={"conv": "scatter", "linear": "mzi_mesh"}
+        )
+        result = engine.run(workloads)
+        assert result.layer("conv1").arch_name == "scatter"
+        assert result.layer("fc1").arch_name == "mzi_mesh"
+
+    def test_custom_pipeline_without_aggregate(self, tempo_arch):
+        engine = EvaluationEngine(
+            tempo_arch,
+            cache=EvaluationCache(),
+            passes=(RoutePass, MapPass, MemoryPass, LinkBudgetPass),
+        )
+        with pytest.raises(RuntimeError):
+            engine.run(paper_like_workload())
+        ctx = engine.run_context(paper_like_workload())
+        assert ctx.mappings and ctx.memory_report is not None
+        assert ctx.link_budgets and not ctx.area_reports
+
+    def test_empty_workloads_rejected(self, tempo_arch):
+        with pytest.raises(ValueError):
+            EvaluationEngine(tempo_arch).run([])
+
+
+class TestRebind:
+    def test_rebound_arch_matches_fresh_build(self):
+        base = build_tempo(config=ArchitectureConfig(num_tiles=2, cores_per_tile=2))
+        target = ArchitectureConfig(
+            num_tiles=2, cores_per_tile=2, core_height=8, core_width=2
+        )
+        rebound = rebind_architecture(base, target, "tempo")
+        fresh = build_tempo(config=target, name="tempo")
+        workload = paper_like_workload()
+        r1 = Simulator(rebound).run(workload)
+        r2 = Simulator(fresh).run(workload)
+        assert result_signature(r1) == result_signature(r2)
+
+    def test_rebind_rejects_structural_change(self):
+        base = build_tempo()
+        target = dataclasses.replace(base.config, num_wavelengths=4)
+        with pytest.raises(ValueError, match="num_wavelengths"):
+            rebind_architecture(base, target)
+
+    def test_resolve_architecture_reuses_structural_build(self):
+        cache = EvaluationCache()
+        c1 = ArchitectureConfig(core_height=2)
+        c2 = ArchitectureConfig(core_height=8)
+        a1 = resolve_architecture(build_tempo, c1, cache=cache)
+        a2 = resolve_architecture(build_tempo, c2, cache=cache)
+        assert cache.stats["build"].misses == 1
+        assert cache.stats["build"].hits == 1
+        assert a1.library is a2.library
+        assert a2.config.core_height == 8
+
+    def test_resolve_without_cache_builds_directly(self):
+        arch = resolve_architecture(build_tempo, ArchitectureConfig(), cache=None)
+        assert arch.config == ArchitectureConfig()
+
+    def test_same_qualname_builders_do_not_collide(self):
+        from repro.arch.templates import build_mzi_mesh
+
+        def wrap(builder):
+            return lambda **kwargs: builder(**kwargs)  # identical __qualname__
+
+        cache = EvaluationCache()
+        config = ArchitectureConfig()
+        tempo = resolve_architecture(wrap(build_tempo), config, cache=cache)
+        mesh = resolve_architecture(wrap(build_mzi_mesh), config, cache=cache)
+        assert tempo.taxonomy is not mesh.taxonomy
+        assert cache.stats["build"].misses == 2
+        assert cache.stats["build"].hits == 0
+
+
+class TestCriticalPathMemo:
+    def test_chain_fast_path_matches_dag(self, tempo_arch):
+        engine = EvaluationEngine(tempo_arch, cache=EvaluationCache())
+        link_pass = next(p for p in engine.passes if isinstance(p, LinkBudgetPass))
+        fast = link_pass._critical_path(tempo_arch)
+        reference = tempo_arch.critical_path()
+        assert fast.instances == reference.instances
+        assert fast.insertion_loss_db == reference.insertion_loss_db
+
+    def test_link_report_matches_seed_analyzer(self, tempo_arch):
+        engine = EvaluationEngine(tempo_arch, cache=EvaluationCache())
+        link_pass = next(p for p in engine.passes if isinstance(p, LinkBudgetPass))
+        cached = link_pass._analyze(tempo_arch)
+        reference = engine.link_budget_analyzer.analyze(tempo_arch)
+        assert cached.insertion_loss_db == reference.insertion_loss_db
+        assert cached.total_laser_electrical_power_mw == reference.total_laser_electrical_power_mw
+        assert cached.pd_sensitivity_dbm == reference.pd_sensitivity_dbm
+        assert cached.extinction_ratio_db == reference.extinction_ratio_db
+        assert cached.num_sources == reference.num_sources
+
+
+class TestSweepCaching:
+    """Cache hit/miss accounting across sweeps (the tentpole's contract)."""
+
+    def make_explorer(self, **kwargs):
+        return DesignSpaceExplorer(
+            build_tempo,
+            [paper_like_workload()],
+            base_config=ArchitectureConfig(num_tiles=1, cores_per_tile=1),
+            **kwargs,
+        )
+
+    def test_single_field_sweep_reuses_invariant_passes(self):
+        explorer = self.make_explorer()
+        space = DesignSpace({"core_height": [2, 4, 8, 16]})
+        result = explorer.explore(space)
+        stats = result.cache_stats
+        # One structural template build; every other point rebinds it.
+        assert stats["build"].misses == 1
+        assert stats["build"].hits == 3
+        # The node floorplan never changes across the sweep.
+        assert stats["floorplan"].misses == 1
+        assert stats["floorplan"].hits == 3
+        # Workload sparsity is computed once for the whole sweep.
+        assert stats["sparsity"].misses == 1
+        # Every point is a distinct design, so the point stage only misses.
+        assert stats["design_point"].misses == 4
+        assert stats["design_point"].hits == 0
+        # core_height changes the broadcast losses: critical path re-runs per point.
+        assert stats["critical_path"].misses == 4
+
+    def test_wavelength_sweep_shares_critical_path(self):
+        explorer = self.make_explorer()
+        result = explorer.explore(DesignSpace({"num_wavelengths": [1, 2, 4]}))
+        stats = result.cache_stats
+        # TeMPO's optical losses do not depend on the wavelength count...
+        assert stats["critical_path"].misses == 1
+        assert stats["critical_path"].hits == 2
+        # ...but the device library does, so each point is a structural build.
+        assert stats["build"].misses == 3
+
+    def test_revisit_is_a_point_level_hit(self):
+        explorer = self.make_explorer()
+        explorer.evaluate({"core_height": 4})
+        explorer.evaluate({"core_height": 4})
+        assert explorer.cache.stats["design_point"].hits == 1
+        assert explorer.cache.stats["design_point"].misses == 1
+
+    def test_simulation_config_change_invalidates(self):
+        shared = EvaluationCache()
+        kwargs = dict(cache=shared)
+        with_mem = DesignSpaceExplorer(
+            build_tempo, [paper_like_workload()],
+            sim_config=SimulationConfig(include_memory=True), **kwargs,
+        )
+        without_mem = DesignSpaceExplorer(
+            build_tempo, [paper_like_workload()],
+            sim_config=SimulationConfig(include_memory=False), **kwargs,
+        )
+        p1 = with_mem.evaluate({"core_height": 4})
+        p2 = without_mem.evaluate({"core_height": 4})
+        # Same design point, different simulation config: both sides computed.
+        assert shared.stats["design_point"].misses == 2
+        assert shared.stats["design_point"].hits == 0
+        assert p1.energy_uj > p2.energy_uj  # memory energy included vs not
+
+    def test_workload_change_invalidates(self):
+        shared = EvaluationCache()
+        e1 = DesignSpaceExplorer(build_tempo, [paper_like_workload(0)], cache=shared)
+        e2 = DesignSpaceExplorer(build_tempo, [paper_like_workload(1)], cache=shared)
+        e1.evaluate({"core_height": 4})
+        e2.evaluate({"core_height": 4})
+        assert shared.stats["design_point"].misses == 2
+
+
+class TestDeterminism:
+    SPACE = DesignSpace(
+        {"core_height": [2, 4, 8], "core_width": [2, 4, 8], "num_wavelengths": [1, 4]}
+    )
+
+    def make_explorer(self, **kwargs):
+        return DesignSpaceExplorer(
+            build_tempo,
+            [paper_like_workload()],
+            base_config=ArchitectureConfig(num_tiles=2, cores_per_tile=2),
+            **kwargs,
+        )
+
+    def test_cache_on_off_bit_identical(self):
+        r_off = self.make_explorer(cache=False).explore(self.SPACE)
+        r_on = self.make_explorer(cache=True).explore(self.SPACE)
+        assert r_on.points == r_off.points
+
+    def test_serial_parallel_bit_identical(self):
+        serial = self.make_explorer(cache=True).explore(self.SPACE)
+        parallel = self.make_explorer(cache=True, max_workers=4).explore(self.SPACE)
+        assert serial.points == parallel.points
+
+    def test_parallel_with_shared_cold_cache_matches(self):
+        parallel = self.make_explorer(cache=True).explore(self.SPACE, max_workers=8)
+        reference = self.make_explorer(cache=False).explore(self.SPACE)
+        assert parallel.points == reference.points
+
+
+class TestCachedAggregates:
+    """SimulationResult aggregate views are merged once (functools.cached_property)."""
+
+    def test_energy_breakdown_cached_and_identical(self, tempo_arch):
+        sim = Simulator(tempo_arch)
+        workloads = [GEMMWorkload(f"g{i}", m=32, k=16, n=32) for i in range(3)]
+        result = sim.run(workloads)
+        first = result.energy_breakdown_pj
+        assert result.energy_breakdown_pj is first  # cached, not re-merged
+        fresh = sim.run(workloads)
+        assert fresh.energy_breakdown_pj == first
+        assert result.total_energy_pj == sum(first.values())
+        assert result.total_power_w == pytest.approx(
+            sum(result.average_power_mw.values()) / 1e3
+        )
+
+    def test_area_breakdown_cached(self, tempo_arch):
+        result = Simulator(tempo_arch).run_gemm(m=16, k=16, n=16)
+        assert result.area_breakdown_mm2 is result.area_breakdown_mm2
+        assert result.total_area_mm2 == sum(result.area_breakdown_mm2.values())

@@ -43,7 +43,9 @@ class TestExamples:
         assert "mzi_mesh" in out
         assert "total energy" in out
 
-    @pytest.mark.parametrize("name", ["design_space_sweep", "pareto_exploration"])
+    @pytest.mark.parametrize(
+        "name", ["design_space_sweep", "pareto_exploration", "strategy_exploration"]
+    )
     def test_sweep_examples_importable(self, name):
         module = load_example(name)
         assert hasattr(module, "main")
