@@ -1,124 +1,24 @@
 """Extension benchmark: automated design-space exploration + modeling ablations.
 
-Two studies beyond the paper's figures, exercising the design choices DESIGN.md
-calls out:
-
-1. a small automated DSE over TeMPO (core size x wavelengths) with Pareto-front
-   extraction over energy / latency / area -- the paper's stated future extension;
-2. an ablation of the modeling features themselves (layout awareness, data
-   awareness, idle-lane gating) on one design point, quantifying how much each
-   feature changes the reported numbers.
+Thin shim over the ``dse_ablation`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run dse_ablation``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/dse_ablation.txt``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from pathlib import Path
 
-from repro import SimulationConfig, Simulator
-from repro.arch import ArchitectureConfig
-from repro.arch.templates import build_scatter, build_tempo
-from repro.dataflow.gemm import GEMMWorkload
-from repro.explore import DesignSpace, DesignSpaceExplorer
-from repro.utils.format import format_table
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-from benchmarks.helpers import paper_gemm, run_once, save_result
-
-
-def run_dse():
-    explorer = DesignSpaceExplorer(
-        build_tempo,
-        [paper_gemm()],
-        base_config=ArchitectureConfig(num_tiles=2, cores_per_tile=2),
-    )
-    space = DesignSpace({"core_height": [2, 4, 8], "core_width": [2, 4, 8],
-                         "num_wavelengths": [1, 4]})
-    result = explorer.explore(space)
-    front = result.pareto_front(("energy_uj", "latency_ns", "area_mm2"))
-    rows = [
-        (", ".join(f"{k}={v}" for k, v in sorted(p.parameters.items())),
-         f"{p.energy_uj:.3f}", f"{p.latency_ns:.0f}", f"{p.area_mm2:.3f}",
-         "yes" if p in front else "no")
-        for p in result.points
-    ]
-    table = format_table(
-        ["design point", "energy (uJ)", "latency (ns)", "area (mm2)", "pareto"], rows
-    )
-    return result, front, table
-
-
-def run_ablation():
-    rng = np.random.default_rng(5)
-    workload = GEMMWorkload(
-        "ablation_layer", m=512, k=16, n=16,
-        weight_values=rng.normal(0, 0.25, size=(16, 16)),
-        input_values=rng.normal(0, 0.5, size=(512, 16)),
-    )
-    settings = {
-        "full model": SimulationConfig(),
-        "no layout awareness": SimulationConfig(use_layout_aware_area=False),
-        "no data awareness": SimulationConfig(data_aware=False),
-        "no idle-lane gating": SimulationConfig(include_idle_gating=False),
-        "no memory model": SimulationConfig(include_memory=False),
-    }
-    # Two carriers so every ablation has a visible effect: SCATTER exercises data
-    # awareness (weight-dependent phase-shifter power), TeMPO exercises layout
-    # awareness (its dot-product node is a floorplanned composite block).
-    rows = []
-    metrics = {}
-    for label, config in settings.items():
-        scatter_result = Simulator(build_scatter(), config).run(workload)
-        tempo_result = Simulator(build_tempo(), config).run(workload)
-        metrics[label] = {
-            "energy_uj": scatter_result.total_energy_uj,
-            "area_mm2": scatter_result.total_area_mm2,
-            "tempo_area_mm2": tempo_result.total_area_mm2,
-        }
-        rows.append(
-            (label, f"{scatter_result.total_energy_uj:.3f}",
-             f"{scatter_result.total_area_mm2:.3f}",
-             f"{tempo_result.total_area_mm2:.3f}",
-             f"{scatter_result.total_time_ns:.0f}")
-        )
-    table = format_table(
-        ["configuration", "SCATTER energy (uJ)", "SCATTER area (mm2)",
-         "TeMPO area (mm2)", "SCATTER latency (ns)"],
-        rows,
-    )
-    return metrics, table
-
-
-def run_all():
-    dse_result, front, dse_table = run_dse()
-    ablation_metrics, ablation_table = run_ablation()
-    text = "\n".join(
-        [
-            "-- design-space exploration (TeMPO, Pareto over energy/latency/area) --",
-            dse_table,
-            "",
-            "-- modeling-feature ablation (SCATTER) --",
-            ablation_table,
-        ]
-    )
-    return dse_result, front, ablation_metrics, text
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "dse_ablation"
 
 
 def test_dse_and_ablation(benchmark):
-    dse_result, front, ablation, text = run_once(benchmark, run_all)
-    save_result("dse_ablation", text)
-
-    # DSE: the grid is fully evaluated and the Pareto front is a proper subset that
-    # contains the single-objective optima.
-    assert len(dse_result) == 18
-    assert 1 <= len(front) < len(dse_result)
-    for objective in ("energy_uj", "latency_ns", "area_mm2"):
-        best = dse_result.best(objective)
-        assert any(p.parameters == best.parameters for p in front)
-
-    # Ablations: removing each modeling feature moves the reported numbers in the
-    # documented direction.
-    full = ablation["full model"]
-    assert ablation["no layout awareness"]["tempo_area_mm2"] < full["tempo_area_mm2"]
-    assert ablation["no data awareness"]["energy_uj"] > full["energy_uj"]
-    assert ablation["no idle-lane gating"]["energy_uj"] >= full["energy_uj"]
-    assert ablation["no memory model"]["energy_uj"] < full["energy_uj"]
-    assert ablation["no memory model"]["area_mm2"] < full["area_mm2"]
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

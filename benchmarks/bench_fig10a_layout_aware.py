@@ -1,55 +1,24 @@
 """Fig. 10(a): TeMPO area with and without layout awareness.
 
-Paper reference: the layout-unaware (footprint-sum) estimate is 0.63 mm^2 while the
-layout-aware estimate is 0.84 mm^2 -- the naive method underestimates the node area
-by ~72% and the whole accelerator by ~25%.
+Thin shim over the ``fig10a_layout_aware`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig10a_layout_aware``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig10a_layout_aware.txt``.
 """
 
 from __future__ import annotations
 
-from repro import SimulationConfig
-from repro.arch.templates import build_tempo
-from repro.core.area import AreaAnalyzer
-from repro.core.report import render_breakdown
+from pathlib import Path
 
-from benchmarks.helpers import run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-PAPER_AWARE_MM2 = 0.84
-PAPER_UNAWARE_MM2 = 0.63
-
-
-def run_fig10a():
-    arch = build_tempo()
-    analyzer = AreaAnalyzer(SimulationConfig(include_memory=False))
-    aware = analyzer.analyze(arch, layout_aware=True)
-    unaware = analyzer.analyze(arch, layout_aware=False)
-    text = "\n".join(
-        [
-            "-- layout-aware breakdown (mm2) --",
-            render_breakdown(aware.breakdown_mm2, unit="mm2"),
-            "",
-            "-- layout-unaware breakdown (mm2) --",
-            render_breakdown(unaware.breakdown_mm2, unit="mm2"),
-            "",
-            f"layout-aware total  : {aware.photonic_core_area_mm2:.3f} mm2 "
-            f"(paper {PAPER_AWARE_MM2})",
-            f"layout-unaware total: {unaware.photonic_core_area_mm2:.3f} mm2 "
-            f"(paper {PAPER_UNAWARE_MM2})",
-            f"node area: floorplanned {aware.node_area_um2:.1f} um2 vs naive "
-            f"{aware.node_area_naive_um2:.1f} um2",
-        ]
-    )
-    return aware, unaware, text
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig10a_layout_aware"
 
 
 def test_fig10a_layout_awareness(benchmark):
-    aware, unaware, text = run_once(benchmark, run_fig10a)
-    save_result("fig10a_layout_aware", text)
-
-    ratio = unaware.photonic_core_area_mm2 / aware.photonic_core_area_mm2
-    paper_ratio = PAPER_UNAWARE_MM2 / PAPER_AWARE_MM2  # 0.75
-    # The unaware estimate must be a clear underestimate, close to the paper's gap.
-    assert ratio < 0.92
-    assert abs(ratio - paper_ratio) < 0.2
-    # The node-level gap is the root cause (naive sum misses routing whitespace).
-    assert aware.node_area_um2 / aware.node_area_naive_um2 > 2.0
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

@@ -1,102 +1,24 @@
 """Fig. 10(b): SCATTER energy with and without data awareness.
 
-Paper reference (weight-static SCATTER PTC, real weight values): total PS+MZM energy
-falls from 69 (data-unaware) to 37 (data-aware, analytical power model) to 36
-(data-aware, rigorous simulated/measured power model); the phase-shifter energy
-alone drops 0.0537 uJ -> 0.0215 uJ -> 0.0209 uJ, a ~60% reduction.
-
-The three fidelity levels map to the three response models of Fig. 5:
-ConstantPower (nominal P_pi), the analytical arccos phase model, and a tabulated
-"measured" curve that is slightly below the analytical one.
+Thin shim over the ``fig10b_data_aware`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig10b_data_aware``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig10b_data_aware.txt``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from pathlib import Path
 
-from repro import SimulationConfig, Simulator
-from repro.arch.templates import build_scatter
-from repro.devices.response import QuadraticPhaseShifterResponse, TabulatedResponse
-from repro.dataflow.gemm import GEMMWorkload
-from repro.utils.format import format_table
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-from benchmarks.helpers import run_once, save_result
-
-PAPER_PS_UJ = {"data_unaware": 0.0537, "analytical": 0.0215, "measured": 0.0209}
-
-
-def _measured_phase_shifter_curve(p_pi_mw: float) -> TabulatedResponse:
-    """A 'chip-measured' heater curve: slightly more efficient than the ideal model.
-
-    The curve is characterized over the full signed weight range so negative weight
-    values interpolate correctly (the analytical model folds the sign internally).
-    """
-    settings = np.linspace(-1.0, 1.0, 33)
-    analytical = QuadraticPhaseShifterResponse(p_pi_mw)
-    powers = np.array([analytical.power_mw(s) for s in settings]) * 0.97
-    return TabulatedResponse(settings, powers)
-
-
-def _scatter_workload() -> GEMMWorkload:
-    rng = np.random.default_rng(7)
-    return GEMMWorkload(
-        "scatter_conv_layer",
-        m=1024,
-        k=16,
-        n=16,
-        weight_values=rng.normal(0.0, 0.25, size=(16, 16)),
-        input_values=rng.normal(0.0, 0.5, size=(1024, 16)),
-    )
-
-
-def run_fig10b():
-    workload = _scatter_workload()
-    results = {}
-
-    # (1) data-unaware: every phase shifter burns its nominal P_pi power.
-    arch = build_scatter()
-    results["data_unaware"] = Simulator(arch, SimulationConfig(data_aware=False)).run(workload)
-
-    # (2) data-aware with the analytical phase/power model.
-    arch = build_scatter()
-    results["analytical"] = Simulator(arch, SimulationConfig(data_aware=True)).run(workload)
-
-    # (3) data-aware with a measured (tabulated) device power curve.
-    arch = build_scatter()
-    p_pi = arch.library["phase_shifter"].nominal_power_mw()
-    arch.library.register(
-        arch.library["phase_shifter"].with_response(_measured_phase_shifter_curve(p_pi))
-    )
-    results["measured"] = Simulator(arch, SimulationConfig(data_aware=True)).run(workload)
-
-    rows = []
-    summary = {}
-    for mode, result in results.items():
-        ps_uj = result.energy_breakdown_pj.get("PS", 0.0) / 1e6
-        mzm_uj = result.energy_breakdown_pj.get("MZM", 0.0) / 1e6
-        summary[mode] = {"ps_uj": ps_uj, "mzm_uj": mzm_uj, "total_uj": result.total_energy_uj}
-        rows.append(
-            (mode, f"{ps_uj:.4f}", f"{mzm_uj:.4f}", f"{result.total_energy_uj:.4f}",
-             f"{PAPER_PS_UJ[mode]:.4f}")
-        )
-    table = format_table(
-        ["mode", "PS (uJ)", "MZM (uJ)", "total (uJ)", "paper PS (uJ)"], rows
-    )
-    return summary, table
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig10b_data_aware"
 
 
 def test_fig10b_data_aware_energy(benchmark):
-    summary, table = run_once(benchmark, run_fig10b)
-    save_result("fig10b_data_aware", table)
-
-    unaware = summary["data_unaware"]["ps_uj"]
-    analytical = summary["analytical"]["ps_uj"]
-    measured = summary["measured"]["ps_uj"]
-    # Shape: data awareness roughly halves the PS energy; the rigorous model trims a
-    # little more (paper: 0.0537 -> 0.0215 -> 0.0209 uJ).
-    assert analytical < 0.7 * unaware
-    assert measured <= analytical
-    assert measured > 0.8 * analytical
-    paper_ratio = PAPER_PS_UJ["analytical"] / PAPER_PS_UJ["data_unaware"]  # ~0.40
-    ours_ratio = analytical / unaware
-    assert abs(ours_ratio - paper_ratio) < 0.25
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

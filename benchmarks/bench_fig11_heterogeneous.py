@@ -1,84 +1,26 @@
 """Fig. 11: per-layer energy of VGG-8 (CIFAR-10) under heterogeneous mapping.
 
-Convolutional layers are mapped to SCATTER and the two linear layers to a Clements
-MZI mesh; both sub-architectures share the same on-chip memory hierarchy.  The
-benchmark regenerates the per-layer energy breakdown (the bars of Fig. 11) and
-checks the structural facts: 8 layers, convs on SCATTER, linears on the MZI mesh,
-and convolutions dominating the total energy.
+Set ``REPRO_VGG_WIDTH`` (default 0.25) to scale the channel widths.
 
-Set ``REPRO_VGG_WIDTH`` (default 0.25) to scale the channel widths; the layer
-structure and mapping are identical at any width.
+Thin shim over the ``fig11_heterogeneous`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig11_heterogeneous``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig11_heterogeneous.txt``.
 """
 
 from __future__ import annotations
 
-import os
+from pathlib import Path
 
-import numpy as np
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-from repro import Simulator
-from repro.arch.architecture import HeterogeneousArchitecture
-from repro.arch.templates import build_mzi_mesh, build_scatter
-from repro.onn import ONNConversionConfig, convert_to_onn, extract_workloads
-from repro.onn.models import build_vgg8_cifar10
-from repro.utils.format import format_table
-
-from benchmarks.helpers import run_once, save_result
-
-
-def run_fig11():
-    width = float(os.environ.get("REPRO_VGG_WIDTH", "0.25"))
-    model = build_vgg8_cifar10(width_multiplier=width, input_size=32)
-    convert_to_onn(
-        model,
-        ONNConversionConfig(
-            ptc_assignment={"conv": "scatter", "linear": "mzi_mesh"}, prune_ratio=0.3
-        ),
-    )
-    image = np.random.default_rng(0).normal(size=(3, 32, 32))
-    workloads = extract_workloads(model, image)
-
-    system = HeterogeneousArchitecture(name="vgg8_hybrid")
-    system.add("scatter", build_scatter())
-    system.add("mzi_mesh", build_mzi_mesh())
-    sim = Simulator(system, type_rules={"conv": "scatter", "linear": "mzi_mesh"})
-    result = sim.run(workloads)
-
-    rows = []
-    for layer in result.layers:
-        breakdown = layer.energy.breakdown_pj
-        rows.append(
-            (
-                layer.name,
-                layer.arch_name,
-                f"{layer.workload.num_macs}",
-                f"{layer.total_energy_pj / 1e6:.4f}",
-                f"{breakdown.get('PS', 0.0) / 1e6:.4f}",
-                f"{breakdown.get('DAC', 0.0) / 1e6:.4f}",
-                f"{breakdown.get('ADC', 0.0) / 1e6:.4f}",
-                f"{breakdown.get('DM', 0.0) / 1e6:.4f}",
-            )
-        )
-    table = format_table(
-        ["layer", "sub-arch", "MACs", "total (uJ)", "PS (uJ)", "DAC (uJ)", "ADC (uJ)", "DM (uJ)"],
-        rows,
-    )
-    return result, table
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig11_heterogeneous"
 
 
 def test_fig11_heterogeneous_mapping(benchmark):
-    result, table = run_once(benchmark, run_fig11)
-    save_result("fig11_heterogeneous", table)
-
-    assert len(result.layers) == 8
-    conv_layers = result.layers_on("scatter")
-    linear_layers = result.layers_on("mzi_mesh")
-    assert len(conv_layers) == 6
-    assert len(linear_layers) == 2
-    # Convolutions carry the bulk of VGG-8's compute and therefore its energy.
-    conv_energy = sum(l.total_energy_pj for l in conv_layers)
-    linear_energy = sum(l.total_energy_pj for l in linear_layers)
-    assert conv_energy > linear_energy
-    # Both sub-architectures share one memory hierarchy (a single report).
-    assert result.memory is not None
-    assert set(result.area_reports) == {"scatter", "mzi_mesh"}
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

@@ -1,49 +1,24 @@
 """Fig. 6: signal-flow-aware floorplan vs. naive footprint sum vs. real layout.
 
-The paper's example node measures 4416 um^2 in the real layout; summing device
-footprints gives only 1270.5 um^2, while the row-based floorplanner estimates
-4531.5 um^2.  We regenerate the three numbers for the TeMPO dot-product node.
+Thin shim over the ``fig6_layout`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig6_layout``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig6_layout.txt``.
 """
 
 from __future__ import annotations
 
-from repro.arch.templates import build_tempo
-from repro.arch.templates.tempo import tempo_node_netlist
-from repro.layout import SignalFlowFloorplanner, naive_footprint_sum_um2
-from repro.utils.format import format_table
+from pathlib import Path
 
-from benchmarks.helpers import run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-PAPER_NAIVE_UM2 = 1270.5
-PAPER_REAL_UM2 = 4416.0
-PAPER_ESTIMATE_UM2 = 4531.5
-
-
-def generate_fig6():
-    arch = build_tempo()
-    node = tempo_node_netlist()
-    naive = naive_footprint_sum_um2(node, arch.library)
-    planner = SignalFlowFloorplanner(
-        device_spacing_um=arch.node_device_spacing_um,
-        boundary_um=arch.node_boundary_um,
-    )
-    plan = planner.plan(node, arch.library)
-    rows = [
-        ("naive footprint sum", naive, PAPER_NAIVE_UM2),
-        ("floorplan estimate", plan.area_um2, PAPER_ESTIMATE_UM2),
-        ("real layout (reference)", float("nan"), PAPER_REAL_UM2),
-    ]
-    table = format_table(["method", "measured (um2)", "paper (um2)"], rows)
-    return {"naive": naive, "planned": plan.area_um2, "plan": plan, "table": table}
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig6_layout"
 
 
 def test_fig6_layout_estimation(benchmark):
-    result = run_once(benchmark, generate_fig6)
-    save_result("fig6_layout", result["table"])
-    naive, planned = result["naive"], result["planned"]
-    # Shape: the naive sum underestimates the real layout by >2x; the floorplan
-    # estimate lands within 25% of the real layout area.
-    assert PAPER_REAL_UM2 / naive > 2.0
-    assert abs(planned - PAPER_REAL_UM2) / PAPER_REAL_UM2 < 0.25
-    # The floorplan bounding box is fully packed with the node's five devices.
-    assert len(result["plan"].placements) == 5
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

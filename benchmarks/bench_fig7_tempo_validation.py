@@ -1,59 +1,24 @@
 """Fig. 7: SimPhony validated against TeMPO on the (280x28)x(28x280) GEMM.
 
-Architecture setting from the paper: core width/height 4, 2 tiles, 2 cores per tile.
-The paper reports a photonic-core area of ~0.84 mm^2 (both SimPhony and the TeMPO
-reference) and matching energy breakdowns; we regenerate both breakdowns and check
-the area is in range and converters dominate energy.
+Thin shim over the ``fig7_tempo_validation`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig7_tempo_validation``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig7_tempo_validation.txt``.
 """
 
 from __future__ import annotations
 
-from repro import SimulationConfig, Simulator
-from repro.arch.templates import build_tempo
-from repro.core.report import render_breakdown
+from pathlib import Path
 
-from benchmarks.helpers import paper_gemm, run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-PAPER_AREA_MM2 = 0.84           # both SimPhony and TeMPO reference in Fig. 7(a)
-PAPER_ENERGY_COMPONENTS = ("Laser", "PS", "PD", "MZM", "ADC", "DAC", "Integrator")
-
-
-def run_fig7():
-    arch = build_tempo()
-    sim = Simulator(arch, SimulationConfig(include_memory=False))
-    result = sim.run(paper_gemm())
-    area_report = result.area_reports["tempo"]
-    text = "\n".join(
-        [
-            "-- area breakdown (photonic core, mm2) --",
-            render_breakdown(area_report.breakdown_mm2, unit="mm2"),
-            f"paper reference total: {PAPER_AREA_MM2} mm2",
-            "",
-            "-- energy breakdown (pJ) --",
-            render_breakdown(result.energy_breakdown_pj, unit="pJ"),
-            f"total energy: {result.total_energy_uj:.3f} uJ "
-            f"({result.energy_per_mac_pj:.3f} pJ/MAC)",
-        ]
-    )
-    return result, area_report, text
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig7_tempo_validation"
 
 
 def test_fig7_tempo_validation(benchmark):
-    result, area_report, text = run_once(benchmark, run_fig7)
-    save_result("fig7_tempo_validation", text)
-
-    area = area_report.photonic_core_area_mm2
-    # Area within ~2x band of the reference value (component data are representative,
-    # not PDK-exact); the breakdown must contain the reference components.
-    assert 0.4 < area < 1.7
-    for label in ("ADC", "DAC", "Node", "TIA", "MZM", "Y Branch", "Crossing"):
-        assert label in area_report.breakdown_mm2
-    # ADC macros and the dot-product nodes are the two largest area contributors.
-    top_two = sorted(area_report.breakdown_um2, key=area_report.breakdown_um2.get)[-2:]
-    assert set(top_two) <= {"ADC", "Node", "DAC"}
-
-    for label in PAPER_ENERGY_COMPONENTS:
-        assert label in result.energy_breakdown_pj, label
-    breakdown = result.energy_breakdown_pj
-    assert breakdown["DAC"] + breakdown["ADC"] > 0.3 * result.total_energy_pj
-    assert 0.5 < result.energy_per_mac_pj < 20.0
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

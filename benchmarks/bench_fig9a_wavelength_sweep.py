@@ -1,64 +1,24 @@
 """Fig. 9(a): energy vs. number of wavelengths on TeMPO, (280x28)x(28x280) GEMM.
 
-The paper sweeps 1-7 wavelengths while scaling the MZMs and laser sources with the
-wavelength count: more spectral parallelism shortens execution and shrinks the
-energy of components that do not scale with wavelengths, while the MZM energy stays
-roughly constant (their count grows with the wavelength count).
+Thin shim over the ``fig9a_wavelength_sweep`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig9a_wavelength_sweep``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig9a_wavelength_sweep.txt``.
 """
 
 from __future__ import annotations
 
-from repro import Simulator
-from repro.arch import ArchitectureConfig
-from repro.arch.templates import build_tempo
-from repro.utils.format import format_table
+from pathlib import Path
 
-from benchmarks.helpers import paper_gemm, run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-WAVELENGTHS = (1, 2, 3, 4, 5, 6, 7)
-SERIES_COMPONENTS = ("Laser", "PS", "PD", "MZM", "ADC", "DAC", "Integrator", "DM")
-
-
-def run_wavelength_sweep():
-    series = {}
-    for wavelengths in WAVELENGTHS:
-        arch = build_tempo(
-            config=ArchitectureConfig(num_wavelengths=wavelengths),
-            name=f"tempo_w{wavelengths}",
-        )
-        result = Simulator(arch).run(paper_gemm())
-        breakdown = result.energy_breakdown_pj
-        series[wavelengths] = {
-            "total_uj": result.total_energy_uj,
-            "time_ns": result.total_time_ns,
-            **{label: breakdown.get(label, 0.0) / 1e6 for label in SERIES_COMPONENTS},
-        }
-    rows = [
-        (w, f"{data['total_uj']:.3f}", f"{data['time_ns']:.0f}")
-        + tuple(f"{data[label]:.3f}" for label in SERIES_COMPONENTS)
-        for w, data in series.items()
-    ]
-    table = format_table(
-        ["# wavelengths", "total (uJ)", "time (ns)"] + [f"{c} (uJ)" for c in SERIES_COMPONENTS],
-        rows,
-    )
-    return series, table
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig9a_wavelength_sweep"
 
 
 def test_fig9a_wavelength_sweep(benchmark):
-    series, table = run_once(benchmark, run_wavelength_sweep)
-    save_result("fig9a_wavelength_sweep", table)
-
-    totals = [series[w]["total_uj"] for w in WAVELENGTHS]
-    times = [series[w]["time_ns"] for w in WAVELENGTHS]
-    # More wavelengths -> faster execution and lower total energy (paper trend).
-    assert times[0] > times[-1]
-    assert totals[0] > totals[-1]
-    # Components that do not scale with wavelengths shrink with the runtime (the ADC
-    # is bounded by the fixed number of output samples, so it must not grow)...
-    assert series[7]["ADC"] <= series[1]["ADC"] * 1.05
-    assert series[7]["Integrator"] < series[1]["Integrator"]
-    assert series[7]["PS"] < series[1]["PS"]
-    # ...while the MZM energy stays roughly constant (count scales with wavelengths).
-    mzm_ratio = series[7]["MZM"] / series[1]["MZM"]
-    assert 0.5 < mzm_ratio < 2.0
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

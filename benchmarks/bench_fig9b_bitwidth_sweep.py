@@ -1,57 +1,24 @@
 """Fig. 9(b): energy vs. input/weight/output bitwidth on TeMPO, (280x28)x(28x280) GEMM.
 
-Converter (DAC/ADC) power is exponential in resolution and the laser power doubles
-per extra input bit, so total energy rises steeply with bitwidth -- the knob users
-sweep to find the efficiency sweet spot.
+Thin shim over the ``fig9b_bitwidth_sweep`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run fig9b_bitwidth_sweep``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/fig9b_bitwidth_sweep.txt``.
 """
 
 from __future__ import annotations
 
-from repro import Simulator
-from repro.arch import ArchitectureConfig
-from repro.arch.templates import build_tempo
-from repro.utils.format import format_table
+from pathlib import Path
 
-from benchmarks.helpers import paper_gemm, run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-BITWIDTHS = (2, 3, 4, 5, 6, 7, 8)
-SERIES_COMPONENTS = ("Laser", "PS", "PD", "MZM", "ADC", "DAC", "Integrator", "DM")
-
-
-def run_bitwidth_sweep():
-    series = {}
-    for bits in BITWIDTHS:
-        arch = build_tempo(
-            config=ArchitectureConfig(input_bits=bits, weight_bits=bits, output_bits=bits),
-            name=f"tempo_b{bits}",
-        )
-        result = Simulator(arch).run(paper_gemm(bits=bits))
-        breakdown = result.energy_breakdown_pj
-        series[bits] = {
-            "total_uj": result.total_energy_uj,
-            **{label: breakdown.get(label, 0.0) / 1e6 for label in SERIES_COMPONENTS},
-        }
-    rows = [
-        (bits, f"{data['total_uj']:.3f}")
-        + tuple(f"{data[label]:.4f}" for label in SERIES_COMPONENTS)
-        for bits, data in series.items()
-    ]
-    table = format_table(
-        ["bitwidth", "total (uJ)"] + [f"{c} (uJ)" for c in SERIES_COMPONENTS], rows
-    )
-    return series, table
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "fig9b_bitwidth_sweep"
 
 
 def test_fig9b_bitwidth_sweep(benchmark):
-    series, table = run_once(benchmark, run_bitwidth_sweep)
-    save_result("fig9b_bitwidth_sweep", table)
-
-    totals = [series[b]["total_uj"] for b in BITWIDTHS]
-    # Energy increases monotonically with bitwidth and grows super-linearly overall.
-    assert all(later > earlier for earlier, later in zip(totals, totals[1:]))
-    assert totals[-1] / totals[0] > 2.0
-    # Converters drive the increase.
-    assert series[8]["DAC"] > series[2]["DAC"]
-    assert series[8]["ADC"] > series[2]["ADC"]
-    # Laser power doubles per extra input bit, so it also rises sharply.
-    assert series[8]["Laser"] > 4.0 * series[2]["Laser"]
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

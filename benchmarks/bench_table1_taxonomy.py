@@ -1,75 +1,24 @@
 """Table I: PTC taxonomy -- operand ranges, reconfiguration speed, #forwards.
 
-Regenerates the taxonomy table from the architecture templates themselves: each
-template's taxonomy entry and the latency multiplier the dataflow mapper actually
-applies must agree with the paper's rows.
+Thin shim over the ``table1_taxonomy`` scenario: the experiment itself (setup, table
+rendering, qualitative shape checks) lives in :mod:`repro.scenarios.catalog` and
+also runs via ``python -m repro run table1_taxonomy``.  This file only adapts it to
+the pytest-benchmark harness and persists the table to
+``benchmarks/results/table1_taxonomy.txt``.
 """
 
 from __future__ import annotations
 
-from repro.arch.taxonomy import TABLE_I
-from repro.arch.templates import (
-    build_mrr_weight_bank,
-    build_mzi_mesh,
-    build_pcm_crossbar,
-    build_tempo,
-    build_butterfly_mesh,
-)
-from repro.dataflow.gemm import GEMMWorkload
-from repro.dataflow.mapping import DataflowMapper
-from repro.utils.format import format_table
+from pathlib import Path
 
-from benchmarks.helpers import run_once, save_result
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
 
-PAPER_ROWS = {
-    "MZI Array": ("R", "Dynamic", "R", "Static", "Direct", 1),
-    "Butterfly Mesh": ("R", "Dynamic", "C", "Static", "Pos-Neg", 1),
-    "MRR Array": ("R+", "Dynamic", "R", "Dynamic", "Direct", 2),
-    "PCM Crossbar": ("R+", "Dynamic", "R+", "Static", "Direct", 4),
-    "TeMPO": ("R", "Dynamic", "R", "Dynamic", "Direct", 1),
-}
-
-BUILDERS = {
-    "MZI Array": build_mzi_mesh,
-    "Butterfly Mesh": build_butterfly_mesh,
-    "MRR Array": build_mrr_weight_bank,
-    "PCM Crossbar": build_pcm_crossbar,
-    "TeMPO": build_tempo,
-}
-
-
-def generate_table1():
-    mapper = DataflowMapper()
-    probe = GEMMWorkload("probe", m=64, k=64, n=64)
-    rows = []
-    measured_forwards = {}
-    for key, entry in TABLE_I.items():
-        rows.append(
-            (
-                entry.name,
-                entry.operand_a_range.value,
-                entry.operand_a_reconfig.value.capitalize(),
-                entry.operand_b_range.value,
-                entry.operand_b_reconfig.value.capitalize(),
-                entry.forward_method,
-                entry.num_forwards,
-            )
-        )
-        arch = BUILDERS[entry.name]()
-        measured_forwards[entry.name] = mapper.map(probe, arch).forwards
-    table = format_table(
-        ["design", "A range", "A reconfig", "B range", "B reconfig", "method", "#forwards"],
-        rows,
-    )
-    return table, measured_forwards
+RESULTS_DIR = Path(__file__).parent / "results"
+SCENARIO = "table1_taxonomy"
 
 
 def test_table1_taxonomy(benchmark):
-    table, measured_forwards = run_once(benchmark, generate_table1)
-    save_result("table1_taxonomy", table)
-    for name, (_, _, _, _, _, forwards) in PAPER_ROWS.items():
-        assert measured_forwards[name] == forwards, name
-    # The two weight-static designs must carry a reconfiguration penalty.
-    assert build_mzi_mesh().weight_reconfig_cycles() > 0
-    assert build_pcm_crossbar().weight_reconfig_cycles() > 0
-    assert build_tempo().weight_reconfig_cycles() == 0
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(SCENARIO), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{SCENARIO}.txt", outcome.table)
+    REGISTRY.verify(SCENARIO, outcome)

@@ -12,27 +12,11 @@ Run with:  python examples/design_space_sweep.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import GEMMWorkload, Simulator
+from repro import Simulator
 from repro.arch import ArchitectureConfig
 from repro.arch.templates import build_tempo
+from repro.scenarios.workloads import paper_gemm
 from repro.utils.format import format_table
-
-
-def paper_gemm(bits: int = 8) -> GEMMWorkload:
-    rng = np.random.default_rng(0)
-    return GEMMWorkload(
-        "gemm_280x28_28x280",
-        m=280,
-        k=28,
-        n=280,
-        input_bits=bits,
-        weight_bits=bits,
-        output_bits=bits,
-        weight_values=rng.normal(0.0, 0.25, size=(28, 280)),
-        input_values=rng.normal(0.0, 0.5, size=(280, 28)),
-    )
 
 
 def dominant(breakdown: dict) -> str:

@@ -14,6 +14,9 @@ The package mirrors the layering of the SimPhony paper (DAC 2025):
 - :mod:`repro.layout`   -- signal-flow-aware floorplanning for layout-aware area.
 - :mod:`repro.core`     -- SimPhony-Sim: the Simulator and the latency / energy /
   area / link-budget / memory analyzers.
+- :mod:`repro.scenarios` -- the declarative scenario registry, batch runner and
+  persistent result store behind ``python -m repro`` (:mod:`repro.cli`): every
+  figure/table experiment of the paper as a registered, validated spec.
 """
 
 from repro.core.cache import EvaluationCache

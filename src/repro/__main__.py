@@ -1,0 +1,5 @@
+"""``python -m repro`` -> the scenario CLI (:mod:`repro.cli`)."""
+
+from repro.cli import main
+
+raise SystemExit(main())

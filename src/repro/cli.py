@@ -1,0 +1,254 @@
+"""The ``repro`` command line: list, run, batch and report registered scenarios.
+
+Replaces the per-figure benchmark scripts as the entry point for reproducing the
+paper's evaluation::
+
+    python -m repro list                      # what can I run?
+    python -m repro run fig7_tempo_validation # one scenario, table on stdout
+    python -m repro batch --smoke             # fast subset, shared cache + store
+    python -m repro batch --all --jobs 4      # everything, parallel
+    python -m repro report                    # what is in the result store?
+
+Results are persisted to a content-addressed store (``--store``, default
+``$REPRO_STORE`` or ``./.repro_store``); re-running an unchanged scenario is a
+store hit that executes no engine pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.report import format_table, save_result_text
+from repro.scenarios import (
+    REGISTRY,
+    BatchRunner,
+    ResultStore,
+    default_store_root,
+)
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        params[key] = value
+    return params
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    if getattr(args, "no_store", False):
+        return None
+    root = getattr(args, "store", None)
+    return ResultStore(Path(root) if root else default_store_root())
+
+
+def _select_names(args: argparse.Namespace) -> List[str]:
+    selectors = [
+        bool(args.names),
+        getattr(args, "all_scenarios", False),
+        getattr(args, "smoke", False),
+    ]
+    if sum(selectors) > 1:
+        raise SystemExit(
+            "error: give scenario names, --all or --smoke -- not a combination"
+        )
+    if args.names:
+        return list(args.names)
+    if getattr(args, "smoke", False):
+        return REGISTRY.names(tag="smoke")
+    return REGISTRY.names()
+
+
+# -- subcommands -----------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for scenario in REGISTRY:
+        spec = scenario.spec
+        if args.tag and args.tag not in spec.tags:
+            continue
+        rows.append(
+            (
+                spec.name,
+                spec.figure or "-",
+                spec.title,
+                ",".join(spec.tags) or "-",
+            )
+        )
+    print(format_table(["scenario", "figure", "title", "tags"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    result = REGISTRY.run(
+        args.name,
+        params=_parse_params(args.param),
+        store=store,
+        force=args.force,
+    )
+    print(f"=== {result.name} ===")
+    print(result.table)
+    origin = "result store" if result.from_store else f"run in {result.elapsed_s:.2f} s"
+    print(f"\n[{result.fingerprint[:16]}] {origin}", file=sys.stderr)
+    if args.save_results:
+        save_result_text(
+            Path(args.save_results) / f"{result.name}.txt", result.table, echo=False
+        )
+    if args.check:
+        REGISTRY.verify(args.name, result)
+        print(f"checks passed for {args.name}", file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    names = _select_names(args)
+    if not names:
+        print("no scenarios selected", file=sys.stderr)
+        return 1
+    store = _store_from_args(args)
+    runner = BatchRunner(store=store, max_workers=args.jobs, force=args.force)
+    report = runner.run(names)
+    print(report.summary_table())
+    failures = 0
+    for item in report.items:
+        if not item.ok:
+            print(f"ERROR {item.name}: {item.error}", file=sys.stderr)
+            failures += 1
+        elif args.check and not item.from_store:
+            try:
+                REGISTRY.verify(item.name, item.result)
+            except AssertionError as exc:
+                print(f"CHECK FAILED {item.name}: {exc}", file=sys.stderr)
+                failures += 1
+    if args.save_results:
+        for item in report.items:
+            if item.ok:
+                save_result_text(
+                    Path(args.save_results) / f"{item.name}.txt",
+                    item.result.table,
+                    echo=False,
+                )
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    if store is None:
+        print("report requires a store", file=sys.stderr)
+        return 1
+    entries = store.entries()
+    if not entries:
+        print(f"result store {store.root} is empty")
+        return 0
+    if args.names:
+        wanted = set(args.names)
+        missing = wanted - {e["name"] for e in entries}
+        if missing:
+            print(f"not in store: {', '.join(sorted(missing))}", file=sys.stderr)
+            return 1
+        shown = set()
+        for entry in entries:  # newest first; show each requested name once
+            if entry["name"] in wanted and entry["name"] not in shown:
+                shown.add(entry["name"])
+                print(f"=== {entry['name']} ===")
+                print(entry["table"])
+                print()
+        return 0
+    rows = [
+        (
+            e["name"],
+            e["fingerprint"][:16],
+            e["created_at"] or "-",
+            f"{e['elapsed_s']:.2f}",
+        )
+        for e in entries
+    ]
+    print(format_table(["scenario", "fingerprint", "created (UTC)", "run time (s)"], rows))
+    return 0
+
+
+# -- argument parsing ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's figure/table experiments from the scenario registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    p_list.set_defaults(func=_cmd_list)
+
+    def add_store_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", metavar="DIR",
+                       help=f"result-store directory (default: $REPRO_STORE or {default_store_root()})")
+        p.add_argument("--no-store", action="store_true",
+                       help="do not read or write the persistent result store")
+        p.add_argument("--force", action="store_true",
+                       help="re-run even when the store has a matching artifact")
+        p.add_argument("--save-results", metavar="DIR",
+                       help="additionally write <scenario>.txt table files to DIR")
+
+    p_run = sub.add_parser("run", help="run one scenario and print its table")
+    p_run.add_argument("name", help="registered scenario name (see `repro list`)")
+    p_run.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                       help="override a scenario parameter (repeatable)")
+    p_run.add_argument("--check", action="store_true",
+                       help="run the scenario's qualitative shape checks")
+    add_store_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_batch = sub.add_parser("batch", help="run many scenarios with a shared cache")
+    p_batch.add_argument("names", nargs="*", help="scenario names (default: all)")
+    p_batch.add_argument("--all", action="store_true", dest="all_scenarios",
+                         help="run every registered scenario (the default when no names given)")
+    p_batch.add_argument("--smoke", action="store_true",
+                         help="run the fast smoke-tagged subset")
+    p_batch.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="run scenarios on N worker threads")
+    p_batch.add_argument("--check", action="store_true",
+                         help="run shape checks on every freshly computed scenario")
+    add_store_args(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_report = sub.add_parser("report", help="inspect the persistent result store")
+    p_report.add_argument("names", nargs="*",
+                          help="print the stored tables of these scenarios")
+    p_report.add_argument("--store", metavar="DIR",
+                          help="result-store directory (default: $REPRO_STORE or ./.repro_store)")
+    p_report.set_defaults(func=_cmd_report, no_store=False)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        # Registry lookups raise KeyError with an actionable message.
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 1
+    except AssertionError as exc:
+        print(f"check failed: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ design-space explorer shares one enabled cache across all points of a sweep.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
@@ -690,6 +691,29 @@ class AggregatePass(EnginePass):
         )
 
 
+# -- pass observation hook ------------------------------------------------------------
+
+#: Callbacks invoked after every executed engine pass as ``cb(pass_name, engine)``.
+#: Registered via :func:`observe_passes`; used by the scenario batch runner and the
+#: tests to prove that a store-served batch re-runs no engine pass at all.
+_PASS_OBSERVERS: List[Callable[[str, "EvaluationEngine"], None]] = []
+
+
+@contextlib.contextmanager
+def observe_passes(callback: Callable[[str, "EvaluationEngine"], None]):
+    """Register ``callback`` for the duration of the ``with`` block.
+
+    The callback fires after each pass of *every* engine run in the process
+    (including engines created inside the block), so it can count or trace
+    exactly how much pipeline work an orchestration layer triggered.
+    """
+    _PASS_OBSERVERS.append(callback)
+    try:
+        yield callback
+    finally:
+        _PASS_OBSERVERS.remove(callback)
+
+
 # -- the engine -----------------------------------------------------------------------
 
 
@@ -780,11 +804,17 @@ class EvaluationEngine:
             default_subarch=self.default_subarch,
         )
 
-    def run(self, workloads: Union[WorkloadLike, Sequence[WorkloadLike]]) -> SimulationResult:
-        """Run the full pass pipeline and return the aggregated result."""
-        ctx = self.context_for(workloads)
+    def _execute(self, ctx: EvaluationContext) -> EvaluationContext:
         for stage in self.passes:
             stage.run(ctx)
+            if _PASS_OBSERVERS:
+                for callback in tuple(_PASS_OBSERVERS):
+                    callback(stage.name, self)
+        return ctx
+
+    def run(self, workloads: Union[WorkloadLike, Sequence[WorkloadLike]]) -> SimulationResult:
+        """Run the full pass pipeline and return the aggregated result."""
+        ctx = self._execute(self.context_for(workloads))
         if ctx.result is None:
             raise RuntimeError(
                 "pipeline finished without an aggregate pass; "
@@ -796,10 +826,7 @@ class EvaluationEngine:
         self, workloads: Union[WorkloadLike, Sequence[WorkloadLike]]
     ) -> EvaluationContext:
         """Like :meth:`run` but returns the full pass context (no aggregate required)."""
-        ctx = self.context_for(workloads)
-        for stage in self.passes:
-            stage.run(ctx)
-        return ctx
+        return self._execute(self.context_for(workloads))
 
     def run_for(
         self,
@@ -814,9 +841,7 @@ class EvaluationEngine:
         every grid point -- concurrently, under a parallel executor -- without
         re-constructing the analyzer set each time.
         """
-        ctx = self.context_for(workloads, single_arch=arch)
-        for stage in self.passes:
-            stage.run(ctx)
+        ctx = self._execute(self.context_for(workloads, single_arch=arch))
         if ctx.result is None:
             raise RuntimeError("pipeline finished without an aggregate pass")
         return ctx.result

@@ -1,11 +1,31 @@
-"""Report helpers: component labelling, breakdown merging, text rendering."""
+"""Report helpers: component labelling, breakdown merging, text rendering.
+
+This module is the single text-formatting path shared by the scenario CLI
+(:mod:`repro.cli`), the batch runner (:mod:`repro.scenarios.runner`) and the
+benchmark shims under ``benchmarks/`` -- they all render tables via
+:func:`repro.utils.format.format_table` (re-exported here) and persist them with
+:func:`save_result_text`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Union
 
 from repro.arch.instance import ArchInstance
 from repro.utils.format import format_breakdown, format_table
+
+__all__ = [
+    "COMPONENT_LABELS",
+    "component_label",
+    "merge_breakdowns",
+    "scale_breakdown",
+    "render_breakdown",
+    "render_comparison",
+    "format_breakdown",
+    "format_table",
+    "save_result_text",
+]
 
 #: Device-library name -> human-readable component label used in breakdowns.
 #: Matches the component legends of the paper's Figs. 7-11.
@@ -85,3 +105,19 @@ def render_comparison(
         )
     )
     return format_table(["component", label_a, label_b, "ratio"], rows)
+
+
+def save_result_text(path: Union[str, Path], text: str, echo: bool = True) -> Path:
+    """Persist a rendered result table to ``path`` and optionally echo it.
+
+    The canonical persistence helper for figure/table reproductions (formerly
+    ``benchmarks/helpers.save_result``): writes ``text`` plus a trailing newline
+    to ``path`` (creating parent directories) and, when ``echo``, prints the
+    table under a ``=== <stem> ===`` banner exactly like the seed harness did.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    if echo:
+        print(f"\n=== {path.stem} ===\n{text}\n")
+    return path

@@ -75,23 +75,53 @@ class DesignPoint:
         return no_worse and strictly_better
 
 
+def validate_sweep_axes(parameters: Mapping[str, object]) -> Dict[str, tuple]:
+    """Validate a mapping of swept ``ArchitectureConfig`` fields to value lists.
+
+    Returns the normalized ``{field: tuple(values)}`` mapping.  Raises with an
+    actionable message (including a did-you-mean suggestion for typos) on an
+    unknown field name or a malformed axis -- a scalar instead of a sequence, a
+    string, or an empty value list.
+    """
+    import difflib
+
+    known_fields = {f.name for f in dataclasses.fields(ArchitectureConfig)}
+    if not parameters:
+        raise ValueError("design space must sweep at least one parameter")
+    normalized: Dict[str, tuple] = {}
+    for name, values in parameters.items():
+        if name not in known_fields:
+            close = difflib.get_close_matches(str(name), sorted(known_fields), n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            known = ", ".join(sorted(known_fields))
+            raise KeyError(
+                f"unknown ArchitectureConfig field {name!r}{hint}; known fields: {known}"
+            )
+        if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+            raise TypeError(
+                f"sweep axis {name!r} must be a sequence of candidate values, "
+                f"got {type(values).__name__}: {values!r}"
+            )
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"sweep axis {name!r} has no candidate values")
+        normalized[name] = values
+    return normalized
+
+
 @dataclass
 class DesignSpace:
     """The grid of `ArchitectureConfig` fields to sweep."""
 
     parameters: Dict[str, Sequence[object]] = field(default_factory=dict)
 
-    _CONFIG_FIELDS = {f.name for f in dataclasses.fields(ArchitectureConfig)}
-
     def __post_init__(self) -> None:
-        if not self.parameters:
-            raise ValueError("design space must sweep at least one parameter")
-        for name, values in self.parameters.items():
-            if name not in self._CONFIG_FIELDS:
-                known = ", ".join(sorted(self._CONFIG_FIELDS))
-                raise KeyError(f"unknown ArchitectureConfig field {name!r}; known: {known}")
-            if not list(values):
-                raise ValueError(f"parameter {name!r} has no candidate values")
+        self.parameters = dict(validate_sweep_axes(self.parameters))
+
+    @classmethod
+    def from_axes(cls, axes: Mapping[str, Sequence[object]]) -> "DesignSpace":
+        """Build a design space from declarative sweep axes (e.g. a ScenarioSpec's)."""
+        return cls(dict(axes))
 
     def grid(self) -> Iterable[Dict[str, object]]:
         """Iterate over every combination of candidate values."""

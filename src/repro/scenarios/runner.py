@@ -1,0 +1,155 @@
+"""Batch execution of registered scenarios with a shared cache and result store.
+
+The :class:`BatchRunner` is the engine room behind ``python -m repro batch``:
+
+- one :class:`~repro.core.cache.EvaluationCache` is shared by every scenario in
+  the batch, so scenarios that touch the same templates/workloads reuse each
+  other's engine passes within the process;
+- the persistent :class:`~repro.scenarios.store.ResultStore` is consulted per
+  scenario, so an unchanged scenario is a cross-process cache hit that executes
+  *zero* engine passes (counted via :func:`repro.core.engine.observe_passes`
+  and reported in the batch summary);
+- ``max_workers`` > 1 runs scenarios on a thread pool; results keep request
+  order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cache import EvaluationCache
+from repro.core.engine import observe_passes
+from repro.core.report import format_table
+from repro.scenarios.registry import REGISTRY, ScenarioRegistry
+from repro.scenarios.spec import ScenarioResult
+from repro.scenarios.store import ResultStore
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one scenario within a batch."""
+
+    name: str
+    result: Optional[ScenarioResult] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def from_store(self) -> bool:
+        return self.result is not None and self.result.from_store
+
+
+@dataclass
+class BatchReport:
+    """All batch items plus process-level accounting."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    engine_passes: int = 0
+    elapsed_s: float = 0.0
+    cache: Optional[EvaluationCache] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def all_from_store(self) -> bool:
+        return bool(self.items) and all(item.from_store for item in self.items if item.ok)
+
+    def item(self, name: str) -> BatchItem:
+        for item in self.items:
+            if item.name == name:
+                return item
+        raise KeyError(f"no batch item named {name!r}")
+
+    def summary_table(self) -> str:
+        rows = []
+        for item in self.items:
+            if not item.ok:
+                status = "ERROR"
+            elif item.from_store:
+                status = "store hit"
+            else:
+                status = "ran"
+            rows.append((item.name, status, f"{item.elapsed_s * 1e3:.1f}"))
+        table = format_table(["scenario", "status", "wall-clock (ms)"], rows)
+        return (
+            f"{table}\n\n"
+            f"engine passes executed: {self.engine_passes}\n"
+            f"batch wall-clock: {self.elapsed_s:.2f} s"
+        )
+
+
+class BatchRunner:
+    """Run one or many registered scenarios through a shared cache and store."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry = REGISTRY,
+        store: Optional[ResultStore] = None,
+        cache: Optional[EvaluationCache] = None,
+        max_workers: Optional[int] = None,
+        force: bool = False,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when given")
+        self.registry = registry
+        self.store = store
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.max_workers = max_workers
+        self.force = force
+
+    def _run_one(self, name: str) -> BatchItem:
+        start = time.perf_counter()
+        try:
+            result = self.registry.run(
+                name, cache=self.cache, store=self.store, force=self.force
+            )
+            return BatchItem(
+                name=name, result=result, elapsed_s=time.perf_counter() - start
+            )
+        except Exception as exc:  # noqa: BLE001 - reported per item, batch continues
+            return BatchItem(
+                name=name,
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed_s=time.perf_counter() - start,
+            )
+
+    def run(self, names: Sequence[str]) -> BatchReport:
+        """Execute ``names`` in order (or on a thread pool) and report per item.
+
+        Unknown scenario names raise before anything runs; execution errors are
+        captured per item so one broken scenario does not abort the batch.
+        """
+        names = list(names)
+        for name in names:
+            self.registry.get(name)  # fail fast with the actionable message
+        pass_count = 0
+        lock = threading.Lock()
+
+        def count_pass(_stage: str, _engine: object) -> None:
+            nonlocal pass_count
+            with lock:
+                pass_count += 1
+
+        start = time.perf_counter()
+        with observe_passes(count_pass):
+            if self.max_workers is not None and self.max_workers > 1:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    items = list(pool.map(self._run_one, names))
+            else:
+                items = [self._run_one(name) for name in names]
+        return BatchReport(
+            items=items,
+            engine_passes=pass_count,
+            elapsed_s=time.perf_counter() - start,
+            cache=self.cache,
+        )

@@ -1,0 +1,53 @@
+"""Workload builders shared by the registered scenarios (and the examples).
+
+These are the fixed tensors of the paper's evaluation section, formerly
+duplicated across ``benchmarks/helpers.py`` and several example scripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataflow.gemm import GEMMWorkload
+
+
+def paper_gemm(bits: int = 8, seed: int = 0) -> GEMMWorkload:
+    """The (280x28) x (28x280) GEMM used for the TeMPO validation and sweeps."""
+    rng = np.random.default_rng(seed)
+    return GEMMWorkload(
+        "gemm_280x28_28x280",
+        m=280,
+        k=28,
+        n=280,
+        input_bits=bits,
+        weight_bits=bits,
+        output_bits=bits,
+        weight_values=rng.normal(0.0, 0.25, size=(28, 280)),
+        input_values=rng.normal(0.0, 0.5, size=(280, 28)),
+    )
+
+
+def scatter_conv_workload() -> GEMMWorkload:
+    """The SCATTER convolution layer of the Fig. 10(b) data-awareness study."""
+    rng = np.random.default_rng(7)
+    return GEMMWorkload(
+        "scatter_conv_layer",
+        m=1024,
+        k=16,
+        n=16,
+        weight_values=rng.normal(0.0, 0.25, size=(16, 16)),
+        input_values=rng.normal(0.0, 0.5, size=(1024, 16)),
+    )
+
+
+def ablation_workload() -> GEMMWorkload:
+    """The mid-size layer used by the modeling-feature ablation study."""
+    rng = np.random.default_rng(5)
+    return GEMMWorkload(
+        "ablation_layer",
+        m=512,
+        k=16,
+        n=16,
+        weight_values=rng.normal(0, 0.25, size=(16, 16)),
+        input_values=rng.normal(0, 0.5, size=(512, 16)),
+    )

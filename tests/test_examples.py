@@ -49,3 +49,9 @@ class TestExamples:
     def test_sweep_examples_importable(self, name):
         module = load_example(name)
         assert hasattr(module, "main")
+
+    def test_scenario_batch_runs_smoke_subset(self, capsys):
+        load_example("scenario_batch").main(names=["fig6_layout"])
+        out = capsys.readouterr().out
+        assert "store hit" in out
+        assert "engine passes executed: 0" in out
