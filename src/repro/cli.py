@@ -6,7 +6,8 @@ paper's evaluation::
     python -m repro list                      # what can I run?
     python -m repro run fig7_tempo_validation # one scenario, table on stdout
     python -m repro batch --smoke             # fast subset, shared cache + store
-    python -m repro batch --all --jobs 4      # everything, parallel
+    python -m repro batch --all --jobs 4      # everything, thread-parallel
+    python -m repro batch --all --backend processes --jobs 4   # GIL-free workers
     python -m repro report                    # what is in the result store?
 
 Results are persisted to a content-addressed store (``--store``, default
@@ -22,12 +23,31 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.report import format_table, save_result_text
+from repro.exec import BACKENDS
 from repro.scenarios import (
     REGISTRY,
     BatchRunner,
     ResultStore,
     default_store_root,
 )
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for worker counts: reject 0/negative/garbage with status 2.
+
+    Validating here (instead of letting ``BatchRunner`` raise) turns
+    ``repro batch --jobs 0`` from a raw ``ValueError`` traceback into a clean
+    usage error.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _parse_params(pairs: Sequence[str]) -> Dict[str, str]:
@@ -113,7 +133,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("no scenarios selected", file=sys.stderr)
         return 1
     store = _store_from_args(args)
-    runner = BatchRunner(store=store, max_workers=args.jobs, force=args.force)
+    runner = BatchRunner(
+        store=store, backend=args.backend, jobs=args.jobs, force=args.force
+    )
     report = runner.run(names)
     print(report.summary_table())
     failures = 0
@@ -213,8 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run every registered scenario (the default when no names given)")
     p_batch.add_argument("--smoke", action="store_true",
                          help="run the fast smoke-tagged subset")
-    p_batch.add_argument("--jobs", type=int, default=None, metavar="N",
-                         help="run scenarios on N worker threads")
+    p_batch.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                         help="number of workers (default: serial, or all cores "
+                              "when --backend names a parallel backend)")
+    p_batch.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                         help="execution backend for fresh scenarios: 'serial', "
+                              "'threads' (shared cache, GIL-bound) or 'processes' "
+                              "(GIL-free worker pool; results are byte-identical "
+                              "to a serial run). Default: serial, or threads when "
+                              "--jobs N is given alone")
     p_batch.add_argument("--check", action="store_true",
                          help="run shape checks on every freshly computed scenario")
     add_store_args(p_batch)

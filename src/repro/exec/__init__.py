@@ -1,0 +1,49 @@
+"""Pluggable process-parallel execution layer.
+
+``repro.exec`` is the one place that knows how to fan work out: the batch
+scenario runner and the design-space explorer both consume
+:class:`ExecutionBackend` instead of hand-rolled executor code, so ``--backend
+{serial,threads,processes} --jobs N`` means the same thing everywhere.  The
+:mod:`~repro.exec.telemetry` helpers keep the accounting (engine passes,
+per-pass wall-clock, cache hit/miss counters) mergeable across process
+boundaries, so reports look identical no matter which backend ran the work.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_cpus,
+    default_jobs,
+    resolve_backend,
+)
+from repro.exec.telemetry import (
+    scoped_pass_observer,
+    PassTiming,
+    WorkerTelemetry,
+    cache_stats_delta,
+    cache_stats_snapshot,
+    merge_cache_stats,
+    merge_pass_timings,
+    render_pass_timings,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "PassTiming",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "WorkerTelemetry",
+    "available_cpus",
+    "cache_stats_delta",
+    "cache_stats_snapshot",
+    "default_jobs",
+    "merge_cache_stats",
+    "merge_pass_timings",
+    "render_pass_timings",
+    "resolve_backend",
+]

@@ -1,0 +1,290 @@
+"""Pluggable execution backends: serial, thread-pool and process-pool.
+
+One interface serves both orchestration layers -- design-point evaluation
+batches in :class:`~repro.explore.dse.DesignSpaceExplorer` and batch scenario
+runs in :class:`~repro.scenarios.runner.BatchRunner` -- instead of each
+hand-rolling its own ``ThreadPoolExecutor`` plumbing:
+
+- :class:`SerialBackend` runs tasks inline (the reference ordering);
+- :class:`ThreadBackend` spreads tasks over a thread pool -- cheap to start and
+  able to share live objects (caches, engines), but every pure-Python engine
+  pass still contends for one GIL;
+- :class:`ProcessBackend` sidesteps the GIL with a process pool.  Tasks and the
+  shared context must be picklable (live engines stay home; consumers encode
+  specs/overrides/workload data instead), scheduling is chunked so per-task IPC
+  amortizes, and results always come back in task order, so a process run is
+  byte-identical to a serial one.
+
+All backends implement ``map_tasks(fn, tasks, shared=None)`` calling
+``fn(shared, task)`` for every task and returning the results in task order.
+``fn`` runs once per task; under :class:`ProcessBackend` it must be a
+module-level (picklable) function and ``shared`` is pickled once per chunk,
+which is where consumers put the bulky, task-invariant payload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import pickle
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+
+TaskFn = Callable[[Any, Any], Any]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers the scheduler affinity mask over ``os.cpu_count()`` so
+    cpuset-restricted containers (docker ``--cpuset-cpus``, K8s, taskset) size
+    their pools -- and gate their wall-clock expectations -- on effective
+    cores, not the host's.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def default_jobs() -> int:
+    """Worker count when none is given: every core this process may use."""
+    return available_cpus()
+
+
+def _validate_jobs(jobs: Optional[int]) -> Optional[int]:
+    if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    return jobs
+
+
+class ExecutionBackend:
+    """Maps a task function over a task list with deterministic result order."""
+
+    name = "backend"
+
+    def __init__(self) -> None:
+        self._pool: Optional[Executor] = None
+        self._session_depth = 0
+        self._session_lock = threading.Lock()
+
+    @property
+    def jobs(self) -> int:
+        return 1
+
+    def _make_pool(self) -> Optional[Executor]:
+        """The pool a session keeps alive (None for inline backends)."""
+        return None
+
+    @contextlib.contextmanager
+    def session(self):
+        """Scope within which pools -- and per-worker state -- persist.
+
+        Callers issuing several ``map_tasks`` rounds (e.g. feedback-driven
+        search strategies) wrap them in one session so thread/process pools
+        are created once: worker processes then keep their memoized state
+        (per-worker caches, architecture builds) across rounds instead of
+        paying startup and re-pickling per batch.  Sessions nest; the
+        outermost one owns the pool.  Without a session every ``map_tasks``
+        call builds and tears down its own pool.
+        """
+        with self._session_lock:
+            self._session_depth += 1
+            if self._session_depth == 1:
+                self._pool = self._make_pool()
+        try:
+            yield self
+        finally:
+            with self._session_lock:
+                self._session_depth -= 1
+                if self._session_depth == 0 and self._pool is not None:
+                    pool, self._pool = self._pool, None
+                    pool.shutdown(wait=True)
+
+    def map_tasks(
+        self, fn: TaskFn, tasks: Sequence[Any], shared: Any = None
+    ) -> List[Any]:
+        """Run ``fn(shared, task)`` for every task; results keep task order.
+
+        A task that raises propagates its exception to the caller (consumers
+        that want per-task error capture catch inside ``fn``).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution -- the reference behaviour every other backend must match."""
+
+    name = "serial"
+
+    def map_tasks(
+        self, fn: TaskFn, tasks: Sequence[Any], shared: Any = None
+    ) -> List[Any]:
+        return [fn(shared, task) for task in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution: shared memory, shared caches, shared GIL."""
+
+    name = "threads"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__()
+        self._jobs = _validate_jobs(jobs) or default_jobs()
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self._jobs)
+
+    def map_tasks(
+        self, fn: TaskFn, tasks: Sequence[Any], shared: Any = None
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._pool is not None:
+            # Executor.map preserves task order regardless of completion order.
+            return list(self._pool.map(lambda task: fn(shared, task), tasks))
+        workers = min(self._jobs, len(tasks))
+        if workers == 1:
+            return [fn(shared, task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda task: fn(shared, task), tasks))
+
+
+def _run_chunk(fn: TaskFn, shared: Any, chunk: List[Any]) -> List[Any]:
+    """Worker-side loop: one unpickle of (fn, shared) serves the whole chunk."""
+    return [fn(shared, task) for task in chunk]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution with chunked scheduling and ordered results.
+
+    ``chunksize`` bounds scheduling granularity: tasks are shipped in contiguous
+    chunks (default: enough chunks for ~4 rounds per worker) so the per-chunk
+    pickling of the shared context amortizes over many tasks while load still
+    balances.  Results are reassembled in submission order, so the output is
+    positionally identical to :class:`SerialBackend`.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self, jobs: Optional[int] = None, chunksize: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        self._jobs = _validate_jobs(jobs) or default_jobs()
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be a positive integer, got {chunksize!r}")
+        self.chunksize = chunksize
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self._jobs)
+
+    def _chunks(self, tasks: List[Any]) -> List[List[Any]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, math.ceil(len(tasks) / (self._jobs * 4)))
+        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+    @staticmethod
+    def check_picklable(fn: TaskFn, shared: Any, tasks: Sequence[Any]) -> None:
+        """Fail fast with an actionable error instead of a mid-pool crash.
+
+        Probes ``fn``, ``shared`` and the *first* task only -- task lists are
+        homogeneous encodings (names, override dicts), so one probe catches
+        the realistic failures without re-serializing a potentially large
+        shared payload's worth of tasks twice per dispatch.
+        """
+        try:
+            pickle.dumps((fn, shared, tasks[0] if tasks else None))
+        except Exception as exc:
+            raise ValueError(
+                "the process backend needs picklable tasks: encode specs, "
+                "overrides and workload data instead of live engine objects, "
+                "and use module-level functions (not lambdas or closures) "
+                f"[{type(exc).__name__}: {exc}]"
+            ) from exc
+
+    def map_tasks(
+        self, fn: TaskFn, tasks: Sequence[Any], shared: Any = None
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        self.check_picklable(fn, shared, tasks)
+        chunks = self._chunks(tasks)
+        if self._pool is not None:
+            return self._collect(self._pool, fn, shared, chunks)
+        with ProcessPoolExecutor(max_workers=min(self._jobs, len(chunks))) as pool:
+            return self._collect(pool, fn, shared, chunks)
+
+    @staticmethod
+    def _collect(
+        pool: Executor, fn: TaskFn, shared: Any, chunks: List[List[Any]]
+    ) -> List[Any]:
+        futures = [pool.submit(_run_chunk, fn, shared, chunk) for chunk in chunks]
+        results: List[Any] = []
+        for future in futures:  # submission order == task order
+            results.extend(future.result())
+        return results
+
+
+#: Backends constructible by name (the CLI's ``--backend`` values).
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+BackendLike = Union[str, ExecutionBackend, None]
+
+
+def resolve_backend(
+    backend: BackendLike = None, jobs: Optional[int] = None
+) -> ExecutionBackend:
+    """Accept a backend instance, a registered name, or None.
+
+    ``None`` keeps the historical default: serial unless ``jobs`` asks for
+    parallelism, in which case a thread pool (the pre-backend behaviour of both
+    the batch runner and the explorer).
+    """
+    _validate_jobs(jobs)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        if jobs is not None and jobs > 1:
+            return ThreadBackend(jobs)
+        return SerialBackend()
+    if isinstance(backend, str):
+        if backend not in BACKENDS:
+            import difflib
+
+            close = difflib.get_close_matches(backend, sorted(BACKENDS), n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise KeyError(
+                f"unknown execution backend {backend!r}{hint}; "
+                f"known: {', '.join(sorted(BACKENDS))}"
+            )
+        cls = BACKENDS[backend]
+        if cls is SerialBackend:
+            return SerialBackend()
+        return cls(jobs)
+    raise TypeError(
+        "backend must be an ExecutionBackend, a name "
+        f"({', '.join(sorted(BACKENDS))}) or None, got {type(backend).__name__}"
+    )

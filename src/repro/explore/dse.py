@@ -14,9 +14,10 @@ provides that loop on top of the staged :class:`~repro.core.engine.EvaluationEng
 3. search strategies (:mod:`repro.explore.search`) decide which points to visit:
    exhaustive :class:`~repro.explore.search.GridSearch`, sampled
    :class:`~repro.explore.search.RandomSearch` or feedback-driven
-   :class:`~repro.explore.search.CoordinateDescent`, all sharing one evaluation
-   cache and an optional ``concurrent.futures`` thread pool with deterministic
-   result ordering;
+   :class:`~repro.explore.search.CoordinateDescent`; *how* each strategy batch
+   runs is delegated to a pluggable execution backend (:mod:`repro.exec`):
+   inline, thread pool, or a GIL-free process pool -- all with deterministic
+   result ordering, so every backend records identical values;
 4. :func:`pareto_front` extracts the non-dominated points over any subset of the
    (minimize-all) objectives with an incremental sweep instead of the seed's
    all-pairs scan.
@@ -26,21 +27,40 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+import math
+import pickle
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.arch.architecture import Architecture, ArchitectureConfig
 from repro.core.cache import (
     CacheStats,
     EvaluationCache,
     config_fingerprint,
+    digest,
     fingerprint,
     workload_fingerprint,
 )
 from repro.core.config import SimulationConfig
-from repro.core.engine import EvaluationEngine, builder_key, resolve_architecture
+from repro.core.engine import (
+    EvaluationEngine,
+    builder_key,
+    observe_passes,
+    resolve_architecture,
+)
 from repro.dataflow.gemm import GEMMWorkload
+from repro.exec import (
+    ExecutionBackend,
+    PassTiming,
+    ProcessBackend,
+    WorkerTelemetry,
+    cache_stats_delta,
+    cache_stats_snapshot,
+    merge_cache_stats,
+    resolve_backend,
+    scoped_pass_observer,
+)
 from repro.explore.search import SearchStrategy, resolve_strategy
 from repro.onn.workload import LayerWorkload
 
@@ -151,6 +171,11 @@ class ExplorationResult:
     evaluations: int = 0
     strategy: str = "grid"
     cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    backend: str = "serial"
+    #: Wall-clock spent in each engine pass during this exploration (merged
+    #: across workers under the process backend), so backend speedups are
+    #: attributable pass by pass.
+    pass_timings: Dict[str, PassTiming] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -196,16 +221,101 @@ def pareto_front(points: Sequence[DesignPoint], objectives: Sequence[str]) -> Li
     """
     if not objectives:
         raise ValueError("need at least one objective")
-    keyed = sorted(
-        range(len(points)),
-        key=lambda i: tuple(points[i].objective(o) for o in objectives),
-    )
+    tuples: List[Tuple[float, ...]] = []
+    for index, point in enumerate(points):
+        values = tuple(point.objective(o) for o in objectives)
+        if any(math.isnan(v) for v in values):
+            # A NaN compares false against everything, so it would neither sort
+            # nor dominate consistently and silently corrupt the sweep's
+            # dominance invariant -- reject it loudly instead.
+            bad = {o: v for o, v in zip(objectives, values) if math.isnan(v)}
+            params = ", ".join(f"{k}={v}" for k, v in sorted(point.parameters.items()))
+            raise ValueError(
+                f"design point {index} ({params or 'no swept parameters'}) has "
+                f"NaN objective(s) {sorted(bad)}; NaN cannot be ordered for "
+                "Pareto dominance -- fix the degenerate evaluation (e.g. a "
+                "zero-denominator link budget) or drop the point before "
+                "calling pareto_front"
+            )
+        tuples.append(values)
+    keyed = sorted(range(len(points)), key=tuples.__getitem__)
     front_indices: List[int] = []
     for index in keyed:
         candidate = points[index]
         if not any(points[j].dominates(candidate, objectives) for j in front_indices):
             front_indices.append(index)
     return [points[i] for i in sorted(front_indices)]
+
+
+# -- process-backend worker protocol ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DesignTaskContext:
+    """Picklable, task-invariant payload for process-backend design evaluation.
+
+    Carries specs and data (builder *reference*, config dataclasses, workload
+    records) -- never live engines or caches.  ``key`` is a parent-computed
+    content address the workers memoize their per-process explorer on, so one
+    worker evaluates a whole chunk against a single architecture/engine setup.
+    """
+
+    key: str
+    builder: ArchBuilder
+    base_config: ArchitectureConfig
+    sim_config: SimulationConfig
+    workloads: Tuple[object, ...]
+    cache_enabled: bool
+    cache_max_entries: Optional[int]
+
+
+@dataclass
+class _DesignTaskOutcome:
+    """Picklable per-point return: the design point plus the worker's telemetry."""
+
+    point: "DesignPoint"
+    telemetry: WorkerTelemetry
+
+
+#: Per-process explorer instances, keyed by :attr:`_DesignTaskContext.key`;
+#: each holds its own per-worker :class:`EvaluationCache` whose hit/miss
+#: deltas travel back to the parent with every task outcome.
+_WORKER_EXPLORERS: Dict[str, "DesignSpaceExplorer"] = {}
+
+
+def _worker_explorer(shared: _DesignTaskContext) -> "DesignSpaceExplorer":
+    explorer = _WORKER_EXPLORERS.get(shared.key)
+    if explorer is None:
+        explorer = DesignSpaceExplorer(
+            shared.builder,
+            list(shared.workloads),
+            base_config=shared.base_config,
+            sim_config=shared.sim_config,
+            cache=EvaluationCache(
+                enabled=shared.cache_enabled, max_entries=shared.cache_max_entries
+            ),
+        )
+        _WORKER_EXPLORERS[shared.key] = explorer
+    return explorer
+
+
+def _evaluate_design_task(
+    shared: _DesignTaskContext, overrides: Mapping[str, object]
+) -> _DesignTaskOutcome:
+    """Evaluate one design point inside a worker process.
+
+    Tasks within one worker run sequentially, so plain counters suffice; cache
+    stats are returned as per-task deltas so the parent's merge never
+    double-counts the worker cache shared across a chunk.
+    """
+    explorer = _worker_explorer(shared)
+    cache = explorer.cache
+    stats_before = cache_stats_snapshot(cache)
+    telemetry = WorkerTelemetry()
+    with observe_passes(scoped_pass_observer(cache, telemetry)):
+        point = explorer.evaluate(dict(overrides))
+    telemetry.cache_stats = cache_stats_delta(cache, stats_before)
+    return _DesignTaskOutcome(point=point, telemetry=telemetry)
 
 
 class DesignSpaceExplorer:
@@ -218,10 +328,18 @@ class DesignSpaceExplorer:
     The default cache retains every visited point's pass results; for very large
     sweeps bound its footprint with ``cache_max_entries`` (oldest entries are
     evicted first) or pass a pre-configured ``EvaluationCache`` instance.
-    ``max_workers`` > 1 evaluates each strategy batch on a
-    ``concurrent.futures`` thread pool; results are collected with
-    ``Executor.map``, so point ordering -- and therefore every recorded value --
-    is identical to a serial run.
+
+    ``backend`` selects how strategy batches execute (:mod:`repro.exec`): an
+    :class:`~repro.exec.ExecutionBackend` instance, a name (``serial`` /
+    ``threads`` / ``processes``) or None.  ``max_workers`` > 1 without an
+    explicit backend keeps the historical thread-pool behaviour.  Every backend
+    collects results in task order, so point ordering -- and therefore every
+    recorded value -- is identical to a serial run.  The process backend ships
+    (config, overrides, workload) encodings to per-worker explorers and merges
+    their pass counts and cache hit/miss telemetry back into the
+    :class:`ExplorationResult`; it requires a picklable, module-level
+    ``builder`` (every template builder in :mod:`repro.arch.templates`
+    qualifies).
     """
 
     def __init__(
@@ -233,6 +351,7 @@ class DesignSpaceExplorer:
         cache: object = True,
         max_workers: Optional[int] = None,
         cache_max_entries: Optional[int] = None,
+        backend: object = None,
     ) -> None:
         workloads = list(workloads)
         if not workloads:
@@ -258,6 +377,7 @@ class DesignSpaceExplorer:
                 enabled=bool(cache), max_entries=cache_max_entries
             )
         self.max_workers = max_workers
+        self._backend_spec = backend
         self._workloads_key = None
         self._engine: Optional[EvaluationEngine] = None
         self._builder_key = builder_key(builder)
@@ -319,6 +439,38 @@ class DesignSpaceExplorer:
             energy_per_mac_pj=result.energy_per_mac_pj,
         )
 
+    # -- process-backend task encoding -------------------------------------------------
+    def _process_context(self) -> _DesignTaskContext:
+        """The picklable, task-invariant payload shipped to worker processes."""
+        try:
+            pickle.dumps(self.builder)
+        except Exception as exc:
+            raise ValueError(
+                "the process backend requires a picklable architecture builder "
+                "(a module-level function such as repro.arch.templates."
+                "build_tempo, not a lambda or closure): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        key = digest(
+            "dse-exec-context",
+            getattr(self.builder, "__module__", "?"),
+            getattr(self.builder, "__qualname__", repr(self.builder)),
+            config_fingerprint(self.base_config),
+            config_fingerprint(self.sim_config),
+            self._workload_set_key(),
+            self.cache.enabled,
+            self.cache.max_entries,
+        )
+        return _DesignTaskContext(
+            key=key,
+            builder=self.builder,
+            base_config=self.base_config,
+            sim_config=self.sim_config,
+            workloads=tuple(self.workloads),
+            cache_enabled=self.cache.enabled,
+            cache_max_entries=self.cache.max_entries,
+        )
+
     # -- exploration loop ------------------------------------------------------------
     def explore(
         self,
@@ -327,25 +479,34 @@ class DesignSpaceExplorer:
         progress: Optional[ProgressCallback] = None,
         max_evaluations: Optional[int] = None,
         max_workers: Optional[int] = None,
+        backend: object = None,
     ) -> ExplorationResult:
         """Evaluate the design points a strategy proposes (default: the full grid).
 
         ``progress(point, num_evaluated, space_size)`` streams every completed
         evaluation in deterministic order; ``max_evaluations`` is an early-stop
-        budget on strategy-requested evaluations; ``max_workers`` overrides the
-        explorer-level setting for this call.
+        budget on strategy-requested evaluations; ``max_workers`` and
+        ``backend`` override the explorer-level settings for this call.
         """
         if max_evaluations is not None and max_evaluations < 1:
             raise ValueError("max_evaluations must be positive when given")
         search: SearchStrategy = resolve_strategy(strategy)
         search.reset()
         workers = max_workers if max_workers is not None else self.max_workers
+        spec = backend if backend is not None else self._backend_spec
+        exec_backend: ExecutionBackend = resolve_backend(spec, workers)
+        use_processes = isinstance(exec_backend, ProcessBackend)
+        context = self._process_context() if use_processes else None
         space_size = space.size()
 
         history: List[DesignPoint] = []
         points: List[DesignPoint] = []
         seen_params: set = set()
         evaluations = 0
+        telemetry = WorkerTelemetry()
+        # Count only this explorer's engines (scoped by cache identity), so
+        # concurrent explorers or an enclosing batch runner stay unaffected.
+        observe = scoped_pass_observer(self.cache, telemetry, lock=threading.Lock())
 
         def record_batch(batch_points: List[DesignPoint]) -> None:
             for point in batch_points:
@@ -357,11 +518,10 @@ class DesignSpaceExplorer:
                 if progress is not None:
                     progress(point, len(history), space_size)
 
-        executor = (
-            ThreadPoolExecutor(max_workers=workers) if workers is not None and workers > 1
-            else None
-        )
-        try:
+        # One backend session for the whole exploration: pools (and the process
+        # workers' memoized explorers/caches) persist across strategy rounds,
+        # so feedback-driven strategies don't pay pool startup per batch.
+        with observe_passes(observe), exec_backend.session():
             while True:
                 batch = search.propose(space, history)
                 if not batch:
@@ -371,24 +531,31 @@ class DesignSpaceExplorer:
                     batch = batch[:remaining]
                     if not batch:
                         break
-                if executor is not None:
-                    batch_points = list(executor.map(self.evaluate, batch))
+                if use_processes:
+                    outcomes = exec_backend.map_tasks(
+                        _evaluate_design_task, batch, shared=context
+                    )
+                    batch_points = [outcome.point for outcome in outcomes]
+                    for outcome in outcomes:
+                        outcome.telemetry.merge_into(telemetry)
                 else:
-                    batch_points = [self.evaluate(overrides) for overrides in batch]
+                    batch_points = exec_backend.map_tasks(
+                        lambda _shared, overrides: self.evaluate(overrides), batch
+                    )
                 evaluations += len(batch)
                 record_batch(batch_points)
                 if max_evaluations is not None and evaluations >= max_evaluations:
                     break
-        finally:
-            if executor is not None:
-                executor.shutdown(wait=True)
 
+        own_stats = {
+            stage: CacheStats(hits=stats.hits, misses=stats.misses)
+            for stage, stats in self.cache.stats.items()
+        }
         return ExplorationResult(
             points=points,
             evaluations=evaluations,
             strategy=search.name,
-            cache_stats={
-                stage: CacheStats(hits=stats.hits, misses=stats.misses)
-                for stage, stats in self.cache.stats.items()
-            },
+            cache_stats=merge_cache_stats([own_stats, telemetry.cache_stats]),
+            backend=exec_backend.name,
+            pass_timings=telemetry.pass_timings,
         )

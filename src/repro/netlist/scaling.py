@@ -13,7 +13,32 @@ from __future__ import annotations
 import ast
 import math
 import operator
+import threading
 from typing import Mapping, Union
+
+#: Shared parse-tree memo: scaling expressions come from a small fixed template
+#: vocabulary, so repeated architecture builds (every design point of a sweep
+#: with caching off) reuse one parse.  The lock matters beyond speed:
+#: ``ast.parse`` is not thread-safe on CPython <= 3.11 (the AST constructor's
+#: recursion-depth counter is per-interpreter, not per-thread), so concurrent
+#: template builds on a thread backend intermittently died with ``SystemError:
+#: AST constructor recursion depth mismatch`` until parsing was serialized.
+_PARSE_LOCK = threading.Lock()
+_PARSE_MEMO: dict = {}
+_PARSE_MEMO_MAX = 4096
+
+
+def _parse_expression(expression: str) -> ast.Expression:
+    tree = _PARSE_MEMO.get(expression)
+    if tree is None:
+        with _PARSE_LOCK:
+            tree = _PARSE_MEMO.get(expression)
+            if tree is None:
+                if len(_PARSE_MEMO) >= _PARSE_MEMO_MAX:  # bound pathological use
+                    _PARSE_MEMO.clear()
+                tree = ast.parse(expression, mode="eval")
+                _PARSE_MEMO[expression] = tree
+    return tree
 
 _ALLOWED_BINOPS = {
     ast.Add: operator.add,
@@ -63,8 +88,10 @@ class ScalingRule:
             raise TypeError(
                 f"expression must be str or number, got {type(expression).__name__}"
             )
-        # Parse eagerly so malformed expressions fail at definition time.
-        self._tree = ast.parse(self.expression, mode="eval")
+        # Parse eagerly so malformed expressions fail at definition time.  The
+        # returned tree is shared and treated as read-only (validation and
+        # evaluation only walk it).
+        self._tree = _parse_expression(self.expression)
         self._validate(self._tree.body)
         variables: set = set()
         self._collect_variables(self._tree.body, variables)

@@ -22,6 +22,7 @@ import inspect
 import json
 import os
 import time
+import uuid
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
@@ -138,16 +139,26 @@ class ResultStore:
 
     # -- write -----------------------------------------------------------------------
     def save(self, result: ScenarioResult) -> Path:
-        """Persist ``result`` atomically (write-then-rename) and return its path."""
+        """Persist ``result`` atomically (write-then-rename) and return its path.
+
+        The temp name embeds the writer's pid plus a uuid, so concurrent
+        writers -- threads or worker processes saving the same artifact -- each
+        stage into a private file and the final ``os.replace`` publishes one
+        complete payload (last rename wins); readers never observe a torn file.
+        """
         if not result.name or not result.fingerprint:
             raise ValueError("result must carry a scenario name and fingerprint")
         self.root.mkdir(parents=True, exist_ok=True)
         payload = result.to_payload()
         payload["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
         path = self.path_for(result.name, result.fingerprint)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

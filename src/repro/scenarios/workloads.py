@@ -40,6 +40,32 @@ def scatter_conv_workload() -> GEMMWorkload:
     )
 
 
+def large_grid_workloads(seed: int = 11) -> list:
+    """Three data-carrying transformer-block GEMMs for the large-grid DSE studies.
+
+    Sized so one full evaluation does real per-point work (operand-dependent
+    energy over ~1.5 MB of tensors), which is what makes the 192-point grid
+    GIL-bound under threads and worth shipping to worker processes.
+    """
+    rng = np.random.default_rng(seed)
+
+    def block(name: str, m: int, k: int, n: int) -> GEMMWorkload:
+        return GEMMWorkload(
+            name,
+            m=m,
+            k=k,
+            n=n,
+            weight_values=rng.normal(0.0, 0.25, size=(k, n)),
+            input_values=rng.normal(0.0, 0.5, size=(m, k)),
+        )
+
+    return [
+        block("blk_qkv", 512, 256, 768),
+        block("blk_ffn_in", 512, 256, 1024),
+        block("blk_ffn_out", 512, 1024, 256),
+    ]
+
+
 def ablation_workload() -> GEMMWorkload:
     """The mid-size layer used by the modeling-feature ablation study."""
     rng = np.random.default_rng(5)

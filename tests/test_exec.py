@@ -1,0 +1,558 @@
+"""Execution backends, scoped pass observation, and store/runner concurrency.
+
+The satellite guarantees of the backend subsystem:
+
+- every backend returns results in task order, so serial, thread and process
+  executions are byte-identical;
+- concurrent writers (threads *and* processes) never publish a torn artifact
+  into one :class:`~repro.scenarios.store.ResultStore`;
+- pass counting is per-runner (scoped by cache identity), so concurrent
+  runners or an enclosing ``observe_passes`` block never cross-contaminate;
+- validation errors (bad ``--jobs``, unknown ``--backend``, NaN objectives,
+  unpicklable process tasks) are loud and actionable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import main
+from repro.core.cache import EvaluationCache
+from repro.core.engine import observe_passes
+from repro.exec import (
+    BACKENDS,
+    PassTiming,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    merge_cache_stats,
+    merge_pass_timings,
+    resolve_backend,
+)
+from repro.explore import DesignPoint, DesignSpace, DesignSpaceExplorer, pareto_front
+from repro.scenarios import BatchRunner, ResultStore, ScenarioResult
+
+PASS_SCENARIOS = ("fig7_tempo_validation", "fig6_layout", "table1_taxonomy")
+
+
+# -- helpers that must be picklable (module-level) for process-backend tests -----------
+
+
+def _square_task(shared, task):
+    offset = shared or 0
+    return task * task + offset
+
+
+def _failing_task(shared, task):
+    if task == 3:
+        raise RuntimeError("task three exploded")
+    return task
+
+
+def _worker_pid(shared, task):
+    import os
+
+    return os.getpid()
+
+
+def _save_artifact(args):
+    """Worker for multi-process store hammering: save one artifact, return its path."""
+    root, name, fp, writer = args
+    store = ResultStore(root)
+    result = ScenarioResult(
+        table=f"table from writer {writer}\n" + "x" * 20000,
+        metrics={"writer": writer, "blob": "y" * 20000},
+        name=name,
+        fingerprint=fp,
+    )
+    return str(store.save(result))
+
+
+def _assert_store_artifacts_complete(store: ResultStore) -> None:
+    """Every .json in the store parses and carries its full payload; no tmp files."""
+    artifacts = list(store.root.glob("*.json"))
+    assert artifacts, "no artifacts were published"
+    for path in artifacts:
+        payload = json.loads(path.read_text())  # a torn file would raise here
+        assert payload["fingerprint"][:16] == path.stem.rsplit("-", 1)[-1]
+        assert len(payload["metrics"]["blob"]) == 20000
+        assert payload["table"].endswith("x" * 20000)
+    leftovers = [p for p in store.root.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == [], f"temp files left behind: {leftovers}"
+
+
+# -- backend basics ---------------------------------------------------------------------
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_map_tasks_preserves_task_order(self, backend):
+        resolved = resolve_backend(backend, jobs=3)
+        tasks = list(range(17))
+        assert resolved.map_tasks(_square_task, tasks, shared=1) == [
+            t * t + 1 for t in tasks
+        ]
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_empty_task_list(self, backend):
+        assert resolve_backend(backend, jobs=2).map_tasks(_square_task, []) == []
+
+    @pytest.mark.parametrize("chunksize", [1, 3, 100])
+    def test_process_chunking_is_order_invariant(self, chunksize):
+        backend = ProcessBackend(jobs=2, chunksize=chunksize)
+        tasks = list(range(11))
+        assert backend.map_tasks(_square_task, tasks) == [t * t for t in tasks]
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_task_errors_propagate(self, backend):
+        resolved = resolve_backend(backend, jobs=2)
+        with pytest.raises(RuntimeError, match="task three exploded"):
+            resolved.map_tasks(_failing_task, [1, 2, 3, 4])
+
+    def test_process_backend_rejects_unpicklable_tasks(self):
+        backend = ProcessBackend(jobs=2)
+        with pytest.raises(ValueError, match="picklable"):
+            backend.map_tasks(_square_task, [lambda: None])
+
+    def test_process_backend_rejects_unpicklable_fn(self):
+        backend = ProcessBackend(jobs=2)
+        with pytest.raises(ValueError, match="module-level"):
+            backend.map_tasks(lambda shared, task: task, [1])
+
+    def test_session_keeps_process_workers_alive_across_rounds(self):
+        """Multi-round strategies must not re-fork (and lose worker memos) per
+        batch: inside one session, consecutive map_tasks calls land on the same
+        worker processes."""
+        backend = ProcessBackend(jobs=2, chunksize=1)
+        with backend.session():
+            assert backend._pool is not None
+            first = set(backend.map_tasks(_worker_pid, range(8)))
+            second = set(backend.map_tasks(_worker_pid, range(8)))
+        # One pool serves both rounds: across them at most `jobs` distinct
+        # workers ever ran (fresh pools per round would show up to 2x, and
+        # the pool spawns lazily, so per-round sets need not even overlap).
+        assert len(first | second) <= backend.jobs
+        # After the session the pool is torn down.
+        assert backend._pool is None
+        assert set(backend.map_tasks(_worker_pid, range(8))).isdisjoint(first)
+
+    def test_sessions_nest_and_share_the_outer_pool(self):
+        backend = ProcessBackend(jobs=2, chunksize=1)
+        with backend.session():
+            outer = set(backend.map_tasks(_worker_pid, range(8)))
+            with backend.session():
+                inner = set(backend.map_tasks(_worker_pid, range(8)))
+            # The inner exit must not have torn down the outer session's pool.
+            assert backend._pool is not None
+            final = set(backend.map_tasks(_worker_pid, range(8)))
+        assert len(outer | inner | final) <= backend.jobs
+        assert backend._pool is None
+
+    def test_coordinate_descent_on_processes_matches_serial(self):
+        from repro.arch import ArchitectureConfig
+        from repro.arch.templates import build_tempo
+        from repro.dataflow.gemm import GEMMWorkload
+        from repro.explore.search import CoordinateDescent
+
+        workload = GEMMWorkload("g", m=32, k=16, n=32)
+        base = ArchitectureConfig(
+            num_tiles=1, cores_per_tile=1, core_height=2, core_width=2
+        )
+        space = DesignSpace({"core_height": [2, 4], "num_wavelengths": [1, 2]})
+
+        def run(backend):
+            return DesignSpaceExplorer(
+                build_tempo, [workload], base_config=base, backend=backend,
+                max_workers=2,
+            ).explore(space, strategy=CoordinateDescent(objective="energy_uj"))
+
+        serial, procs = run("serial"), run("processes")
+        assert procs.points == serial.points
+        assert procs.evaluations == serial.evaluations
+
+
+class TestResolveBackend:
+    def test_none_defaults_to_serial(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(None, jobs=1), SerialBackend)
+
+    def test_none_with_jobs_is_threads(self):
+        backend = resolve_backend(None, jobs=4)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.jobs == 4
+
+    def test_names_construct_their_backend(self):
+        assert set(BACKENDS) == {"serial", "threads", "processes"}
+        assert isinstance(resolve_backend("serial", jobs=8), SerialBackend)
+        assert resolve_backend("threads", jobs=3).jobs == 3
+        assert resolve_backend("processes", jobs=2).jobs == 2
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(KeyError, match=r"procces.*did you mean 'processes'"):
+            resolve_backend("procces")
+
+    @pytest.mark.parametrize("jobs", [0, -2])
+    def test_bad_jobs_rejected(self, jobs):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_backend("threads", jobs=jobs)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="backend must be"):
+            resolve_backend(3.14)
+
+
+class TestTelemetryMerging:
+    def test_merge_pass_timings(self):
+        a = {"map": PassTiming(count=2, total_s=0.5)}
+        b = {"map": PassTiming(count=1, total_s=0.25), "area": PassTiming(1, 0.1)}
+        merged = merge_pass_timings([a, b])
+        assert merged["map"].count == 3
+        assert merged["map"].total_s == pytest.approx(0.75)
+        assert merged["area"].count == 1
+
+    def test_merge_cache_stats(self):
+        from repro.core.cache import CacheStats
+
+        merged = merge_cache_stats(
+            [{"map": CacheStats(hits=2, misses=1)}, {"map": CacheStats(hits=0, misses=4)}]
+        )
+        assert (merged["map"].hits, merged["map"].misses) == (2, 5)
+
+
+# -- scoped pass observation ------------------------------------------------------------
+
+
+class TestScopedPassObservation:
+    def test_concurrent_runners_do_not_cross_contaminate(self):
+        """Two runners in flight at once each count only their own passes."""
+        reports = {}
+
+        def run(key, names):
+            reports[key] = BatchRunner(store=None).run(names)
+
+        threads = [
+            threading.Thread(target=run, args=("a", ["fig7_tempo_validation"])),
+            threading.Thread(target=run, args=("b", ["fig10b_data_aware"])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # fig7 simulates once (7 passes); fig10b simulates three modes (21).
+        # Global (unscoped) counting would report 28 on both.
+        assert reports["a"].engine_passes == 7
+        assert reports["b"].engine_passes == 21
+
+    def test_runner_inside_observed_block_keeps_its_own_count(self):
+        seen_by_outer = []
+        with observe_passes(lambda stage, engine: seen_by_outer.append(stage)):
+            report = BatchRunner(store=None).run(["fig7_tempo_validation"])
+        assert report.engine_passes == 7
+        # The outer observer still sees everything (it chose not to filter).
+        assert len(seen_by_outer) >= 7
+
+    def test_stacked_registration_of_the_same_callback(self):
+        events = []
+
+        def cb(stage, engine):
+            events.append(stage)
+
+        from repro.arch.templates import build_tempo
+        from repro.core.engine import EvaluationEngine
+        from repro.dataflow.gemm import GEMMWorkload
+
+        with observe_passes(cb):
+            with observe_passes(cb):
+                EvaluationEngine(
+                    build_tempo(), cache=EvaluationCache(enabled=False)
+                ).run(GEMMWorkload("g", m=8, k=8, n=8))
+            inner = len(events)
+            EvaluationEngine(
+                build_tempo(), cache=EvaluationCache(enabled=False)
+            ).run(GEMMWorkload("g2", m=8, k=8, n=8))
+        assert inner == 14  # both registrations fired per pass
+        assert len(events) == inner + 7  # one registration left after inner exit
+
+    def test_observer_timing_argument(self):
+        timed = []
+        with observe_passes(lambda stage, engine, elapsed_s: timed.append((stage, elapsed_s))):
+            from repro.arch.templates import build_tempo
+            from repro.core.engine import EvaluationEngine
+            from repro.dataflow.gemm import GEMMWorkload
+
+            EvaluationEngine(build_tempo(), cache=EvaluationCache(enabled=False)).run(
+                GEMMWorkload("g", m=8, k=8, n=8)
+            )
+        assert len(timed) == 7
+        assert all(isinstance(t, float) and t >= 0.0 for _, t in timed)
+
+
+class TestConcurrentScalingRules:
+    def test_concurrent_rule_construction_never_races(self):
+        """Regression: ast.parse is not thread-safe on CPython <= 3.11, so
+        concurrent template builds (thread-backend sweeps with caching off)
+        intermittently raised ``SystemError: AST constructor recursion depth
+        mismatch`` until ScalingRule serialized parsing behind a shared memo."""
+        from repro.netlist.scaling import ScalingRule
+
+        errors = []
+
+        def build(worker):
+            try:
+                for i in range(200):
+                    # Distinct expressions defeat the memo, forcing real parses.
+                    rule = ScalingRule(f"R*C*H*W + {worker} * ceil(H / {i + 1})")
+                    assert rule.count({"R": 2, "C": 2, "H": 4, "W": 4}) >= 64
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=build, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+# -- store concurrency ------------------------------------------------------------------
+
+
+class TestStoreConcurrency:
+    N_WRITERS = 8
+    ROUNDS = 10
+
+    def _fingerprints(self, same: bool):
+        if same:
+            return ["f" * 40] * self.N_WRITERS
+        return [format(i, "x") * 40 for i in range(self.N_WRITERS)]
+
+    @pytest.mark.parametrize("same_fingerprint", [True, False])
+    def test_threaded_writers_never_tear_artifacts(self, tmp_path, same_fingerprint):
+        store = ResultStore(tmp_path / "store")
+        fps = self._fingerprints(same_fingerprint)
+        errors = []
+
+        def hammer(writer):
+            try:
+                for _ in range(self.ROUNDS):
+                    _save_artifact((store.root, "demo", fps[writer], writer))
+                    loaded = store.load("demo", fps[writer])
+                    if loaded is not None:
+                        assert len(loaded.metrics["blob"]) == 20000
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(self.N_WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        _assert_store_artifacts_complete(store)
+        expected = 1 if same_fingerprint else self.N_WRITERS
+        assert len(list(store.root.glob("*.json"))) == expected
+
+    @pytest.mark.parametrize("same_fingerprint", [True, False])
+    def test_process_writers_never_tear_artifacts(self, tmp_path, same_fingerprint):
+        store = ResultStore(tmp_path / "store")
+        fps = self._fingerprints(same_fingerprint)
+        jobs = [
+            (store.root, "demo", fps[writer], writer)
+            for writer in range(self.N_WRITERS)
+            for _ in range(3)
+        ]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            paths = list(pool.map(_save_artifact, jobs))
+        assert all(path.endswith(".json") for path in paths)
+        _assert_store_artifacts_complete(store)
+        expected = 1 if same_fingerprint else self.N_WRITERS
+        assert len(list(store.root.glob("*.json"))) == expected
+
+    def test_mixed_thread_and_process_writers(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fp = "a" * 40
+        with ProcessPoolExecutor(max_workers=2) as procs, ThreadPoolExecutor(4) as pool:
+            futures = [
+                procs.submit(_save_artifact, (store.root, "demo", fp, i))
+                for i in range(4)
+            ] + [
+                pool.submit(_save_artifact, (store.root, "demo", fp, 100 + i))
+                for i in range(4)
+            ]
+            for future in futures:
+                future.result()
+        _assert_store_artifacts_complete(store)
+
+
+# -- backend equivalence on real batches -------------------------------------------------
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return BatchRunner(store=None).run(PASS_SCENARIOS)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_batch_tables_and_pass_counts_match_serial(self, serial_report, backend):
+        report = BatchRunner(store=None, backend=backend, jobs=2).run(PASS_SCENARIOS)
+        assert report.ok
+        assert report.backend == backend
+        for ours, reference in zip(report.items, serial_report.items):
+            assert ours.name == reference.name
+            assert ours.result.table == reference.result.table
+            assert ours.result.metrics == reference.result.metrics
+        assert report.engine_passes == serial_report.engine_passes
+        assert sum(t.count for t in report.pass_timings.values()) == report.engine_passes
+
+    def test_process_batch_warm_starts_from_the_store(self, tmp_path):
+        store_root = tmp_path / "store"
+        first = BatchRunner(store=ResultStore(store_root), backend="processes", jobs=2).run(
+            PASS_SCENARIOS
+        )
+        second = BatchRunner(store=ResultStore(store_root), backend="processes", jobs=2).run(
+            PASS_SCENARIOS
+        )
+        assert first.ok and not first.all_from_store
+        assert first.engine_passes > 0
+        assert second.all_from_store
+        assert second.engine_passes == 0, (
+            "a store-served process batch must not even spawn workers"
+        )
+
+    def test_process_batch_captures_errors_per_item(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BERT_LAYERS", "not-a-number")
+        report = BatchRunner(store=None, backend="processes", jobs=2).run(
+            ["fig8_lt_validation", "fig6_layout"]
+        )
+        assert not report.ok
+        assert "ValueError" in report.item("fig8_lt_validation").error
+        assert report.item("fig6_layout").ok
+
+    def test_process_batch_requires_the_global_registry(self):
+        from repro.scenarios.registry import ScenarioRegistry
+
+        with pytest.raises(ValueError, match="module-global"):
+            BatchRunner(registry=ScenarioRegistry(), backend="processes")
+
+    def test_process_batch_rejects_a_shared_cache(self):
+        # Workers keep per-process caches; silently dropping a caller's
+        # pre-warmed cache would masquerade as a cold run.
+        with pytest.raises(ValueError, match="cannot share an in-memory"):
+            BatchRunner(cache=EvaluationCache(), backend="processes")
+
+    def test_explorer_backends_agree_and_merge_telemetry(self):
+        from repro.arch import ArchitectureConfig
+        from repro.arch.templates import build_tempo
+        from repro.dataflow.gemm import GEMMWorkload
+
+        workload = GEMMWorkload("g", m=64, k=16, n=64)
+        base = ArchitectureConfig(
+            num_tiles=1, cores_per_tile=1, core_height=2, core_width=2
+        )
+        space = DesignSpace({"core_height": [2, 4], "num_wavelengths": [1, 2]})
+
+        def explore(backend):
+            explorer = DesignSpaceExplorer(
+                build_tempo, [workload], base_config=base, backend=backend,
+                max_workers=2,
+            )
+            return explorer.explore(space)
+
+        serial = explore("serial")
+        for backend in ("threads", "processes"):
+            result = explore(backend)
+            assert result.points == serial.points
+            assert result.backend == backend
+            passes = sum(t.count for t in result.pass_timings.values())
+            assert passes == sum(t.count for t in serial.pass_timings.values())
+            assert result.cache_stats  # worker hit/miss telemetry merged back
+
+    def test_explorer_process_backend_rejects_closure_builder(self):
+        from repro.arch.templates import build_tempo
+        from repro.dataflow.gemm import GEMMWorkload
+
+        explorer = DesignSpaceExplorer(
+            lambda **kwargs: build_tempo(**kwargs),
+            [GEMMWorkload("g", m=8, k=8, n=8)],
+            backend="processes",
+        )
+        with pytest.raises(ValueError, match="module-level"):
+            explorer.explore(DesignSpace({"core_height": [2]}))
+
+
+# -- NaN objectives ---------------------------------------------------------------------
+
+
+class TestParetoNaN:
+    def _point(self, **overrides) -> DesignPoint:
+        values = dict(
+            parameters={"core_height": 2}, energy_uj=1.0, latency_ns=1.0,
+            area_mm2=1.0, power_w=1.0, laser_power_mw=1.0, energy_per_mac_pj=1.0,
+        )
+        values.update(overrides)
+        return DesignPoint(**values)
+
+    def test_nan_objective_raises_naming_the_point(self):
+        good = self._point()
+        bad = self._point(parameters={"core_height": 8}, latency_ns=math.nan)
+        with pytest.raises(ValueError, match=r"core_height=8.*latency_ns"):
+            pareto_front([good, bad], ["energy_uj", "latency_ns"])
+
+    def test_nan_in_unused_objective_is_ignored(self):
+        point = self._point(latency_ns=math.nan)
+        assert pareto_front([point], ["energy_uj"]) == [point]
+
+    def test_non_nan_front_unchanged(self):
+        a = self._point(energy_uj=1.0, latency_ns=2.0)
+        b = self._point(energy_uj=2.0, latency_ns=1.0)
+        c = self._point(energy_uj=3.0, latency_ns=3.0)
+        assert pareto_front([a, b, c], ["energy_uj", "latency_ns"]) == [a, b]
+
+
+# -- CLI argument validation ------------------------------------------------------------
+
+
+class TestCliBackendValidation:
+    @pytest.mark.parametrize("jobs", ["0", "-4", "two"])
+    def test_bad_jobs_is_a_clean_usage_error(self, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "--jobs", jobs, "--no-store", "fig6_layout"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "Traceback" not in err
+
+    def test_bad_backend_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "--backend", "cuda", "--no-store", "fig6_layout"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+
+    def test_batch_with_process_backend_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "batch", "fig6_layout", "table1_taxonomy",
+            "--backend", "processes", "--jobs", "2", "--store", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend: processes (2 jobs)" in out
+        # Second run warm-starts from the store without spawning workers.
+        assert main([
+            "batch", "fig6_layout", "table1_taxonomy",
+            "--backend", "processes", "--jobs", "2", "--store", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "store hit" in out
+        assert "engine passes executed: 0" in out
