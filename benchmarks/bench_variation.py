@@ -1,0 +1,29 @@
+"""Variation-aware Monte Carlo accuracy studies (repro.variation extension).
+
+Thin shims over the ``variation_robustness``, ``accuracy_vs_precision`` and
+``accuracy_energy_pareto`` scenarios: the experiments (noise corners, Monte
+Carlo sampling, accuracy-energy DSE) live in :mod:`repro.scenarios.catalog`
+and also run via ``python -m repro run <name>``.  These files only adapt them
+to the pytest-benchmark harness and persist the tables to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.report import save_result_text
+from repro.scenarios import REGISTRY
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCENARIOS = ("variation_robustness", "accuracy_vs_precision", "accuracy_energy_pareto")
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_variation_scenario(benchmark, name):
+    outcome = benchmark.pedantic(lambda: REGISTRY.run(name), rounds=1, iterations=1)
+    save_result_text(RESULTS_DIR / f"{name}.txt", outcome.table)
+    REGISTRY.verify(name, outcome)

@@ -18,6 +18,7 @@ store hit that executes no engine pass.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -160,13 +161,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _artifact_payload(entry: Dict[str, object]) -> Dict[str, object]:
+    """The full stored JSON artifact behind one store entry (metrics included)."""
+    payload = json.loads(Path(entry["path"]).read_text())
+    payload["path"] = str(entry["path"])
+    return payload
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     if store is None:
         print("report requires a store", file=sys.stderr)
         return 1
+    as_json = args.format == "json"
     entries = store.entries()
-    if not entries:
+    if not entries and not as_json:
         print(f"result store {store.root} is empty")
         return 0
     if args.names:
@@ -176,12 +185,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"not in store: {', '.join(sorted(missing))}", file=sys.stderr)
             return 1
         shown = set()
+        selected = []
         for entry in entries:  # newest first; show each requested name once
             if entry["name"] in wanted and entry["name"] not in shown:
                 shown.add(entry["name"])
-                print(f"=== {entry['name']} ===")
-                print(entry["table"])
-                print()
+                selected.append(entry)
+        if as_json:
+            # Full artifacts (table + metrics + params), machine-readable.
+            print(json.dumps([_artifact_payload(e) for e in selected], indent=2,
+                             sort_keys=True))
+            return 0
+        for entry in selected:
+            print(f"=== {entry['name']} ===")
+            print(entry["table"])
+            print()
+        return 0
+    if as_json:
+        records = [
+            {
+                "name": e["name"],
+                "fingerprint": e["fingerprint"],
+                "created_at": e["created_at"],
+                "elapsed_s": e["elapsed_s"],
+                "params": e["params"],
+                "path": str(e["path"]),
+            }
+            for e in entries
+        ]
+        print(json.dumps(records, indent=2, sort_keys=True))
         return 0
     rows = [
         (
@@ -254,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the stored tables of these scenarios")
     p_report.add_argument("--store", metavar="DIR",
                           help="result-store directory (default: $REPRO_STORE or ./.repro_store)")
+    p_report.add_argument("--format", choices=("table", "json"), default="table",
+                          help="output format: human-readable table (default) or "
+                               "JSON (entry metadata; with names, the full "
+                               "stored artifacts including metrics)")
     p_report.set_defaults(func=_cmd_report, no_store=False)
 
     return parser

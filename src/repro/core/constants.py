@@ -1,0 +1,16 @@
+"""Physical constants shared by the link-budget / receiver-noise math.
+
+Exact SI values (2019 redefinition).  Kept in one place so the SNR analyzer,
+energy models and the variation subsystem all agree on them instead of each
+module re-declaring private copies.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge ``q`` in coulomb (exact, SI 2019).
+ELECTRON_CHARGE_C = 1.602176634e-19
+
+#: Boltzmann constant ``k`` in joule per kelvin (exact, SI 2019).
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+__all__ = ["ELECTRON_CHARGE_C", "BOLTZMANN_J_PER_K"]

@@ -58,6 +58,7 @@ from repro.core.latency import LatencyAnalyzer, LatencyReport
 from repro.core.link_budget import LinkBudgetAnalyzer, LinkBudgetReport
 from repro.core.memory_analyzer import MemoryAnalyzer, MemoryReport
 from repro.core.report import merge_breakdowns, render_breakdown
+from repro.core.snr import SNRAnalyzer, SNRReport
 from repro.dataflow.gemm import GEMMWorkload
 from repro.dataflow.mapping import DataflowMapper, Mapping
 from repro.dataflow.scheduler import HeterogeneousMapper
@@ -368,6 +369,10 @@ class EvaluationContext:
     area_reports: Dict[str, AreaReport] = field(default_factory=dict)
     # latency / energy ->
     layers: List[LayerResult] = field(default_factory=list)
+    # variation-aware accuracy (set by EvaluationEngine.run_accuracy) ->
+    accuracy_request: Optional[object] = None
+    snr_reports: Dict[str, SNRReport] = field(default_factory=dict)
+    accuracy_report: Optional[object] = None
     # aggregate ->
     result: Optional[SimulationResult] = None
 
@@ -503,54 +508,7 @@ class LinkBudgetPass(EnginePass):
     def run(self, ctx: EvaluationContext) -> None:
         for arch in ctx.distinct_archs():
             if arch.name not in ctx.link_budgets:
-                ctx.link_budgets[arch.name] = self._analyze(arch)
-
-    def _analyze(self, arch: Architecture) -> LinkBudgetReport:
-        analyzer = self.engine.link_budget_analyzer
-        cache = self.engine.cache
-        if not cache.enabled:
-            return analyzer.analyze(arch)
-        optics = cache.get_or_compute(
-            "optics_profile",
-            structure_token(arch),
-            lambda: analyzer.optics_profile(arch),
-        )
-        return analyzer.analyze(
-            arch, critical_path=self._critical_path(arch), optics=optics
-        )
-
-    def _critical_path(self, arch: Architecture) -> CriticalPath:
-        cache = self.engine.cache
-        netlist = arch.link_netlist
-        multipliers = arch.loss_multipliers()
-        loss_items = tuple(
-            (
-                name,
-                arch.library.get(inst.device).insertion_loss_db,
-                multipliers.get(name, 1.0),
-            )
-            for name, inst in netlist.instances.items()
-        )
-        key = (netlist_fingerprint(netlist), loss_items)
-
-        def compute() -> CriticalPath:
-            if cache.enabled:
-                chain = _chain_order(netlist)
-                if chain is not None:
-                    losses = {name: loss * mult for name, loss, mult in loss_items}
-                    total = losses[chain[0]]
-                    # Same accumulation order (and tie-breaking epsilon) as the
-                    # weighted DAG longest path over a linear chain.
-                    edge_sum = 0.0
-                    for dst in chain[1:]:
-                        edge_sum += losses[dst] + 1e-9
-                    return CriticalPath(
-                        instances=tuple(chain),
-                        insertion_loss_db=float(edge_sum + total),
-                    )
-            return arch.critical_path()
-
-        return cache.get_or_compute("critical_path", key, compute)
+                ctx.link_budgets[arch.name] = self.engine.link_budget_for(arch)
 
 
 def _chain_order(netlist: Netlist) -> Optional[List[str]]:
@@ -573,6 +531,125 @@ def _chain_order(netlist: Netlist) -> Optional[List[str]]:
     if len(order) != len(netlist):
         return None
     return order
+
+
+class ReceiverPrecisionPass(EnginePass):
+    """Receiver SNR and effective resolvable bits for every target architecture.
+
+    Derives the received optical power from the (memoized) link budget, applies
+    the accuracy request's deterministic noise penalty (the static part of any
+    :class:`~repro.variation.models.LinkLossDrift`), and memoizes the resulting
+    :class:`~repro.core.snr.SNRReport` on the link's operating point -- two
+    design points with the same insertion loss, laser power, clock and static
+    penalty share one SNR computation.
+    """
+
+    name = "receiver_precision"
+
+    def run(self, ctx: EvaluationContext) -> None:
+        request = ctx.accuracy_request
+        static_loss_db = (
+            float(request.noise.static_loss_db()) if request is not None else 0.0
+        )
+        for arch in self._target_archs(ctx):
+            if arch.name in ctx.snr_reports:
+                continue
+            link = ctx.link_budgets.get(arch.name)
+            if link is None:
+                link = self.engine.link_budget_for(arch)
+                ctx.link_budgets[arch.name] = link
+            ctx.snr_reports[arch.name] = self._snr(arch, link, static_loss_db)
+
+    @staticmethod
+    def _target_archs(ctx: EvaluationContext) -> List[Architecture]:
+        archs = ctx.distinct_archs()
+        if not archs and ctx.single_arch is not None:
+            archs = [ctx.single_arch]
+        return archs
+
+    def _snr(
+        self, arch: Architecture, link: LinkBudgetReport, static_loss_db: float
+    ) -> SNRReport:
+        analyzer = self.engine.snr_analyzer
+        bandwidth_ghz = arch.config.frequency_ghz
+
+        def compute() -> SNRReport:
+            received_mw = link.laser_optical_power_mw * 10.0 ** (
+                -(link.insertion_loss_db + static_loss_db) / 10.0
+            )
+            return analyzer.analyze_received_power(received_mw, bandwidth_ghz)
+
+        cache = self.engine.cache
+        if not cache.enabled:
+            return compute()
+        key = fingerprint(
+            link.laser_optical_power_mw,
+            link.insertion_loss_db,
+            bandwidth_ghz,
+            static_loss_db,
+            analyzer.responsivity_a_per_w,
+            analyzer.load_resistance_ohm,
+            analyzer.temperature_k,
+            analyzer.rin_db_per_hz,
+        )
+        return cache.get_or_compute(self.name, key, compute)
+
+
+class MonteCarloAccuracyPass(EnginePass):
+    """Monte Carlo inference accuracy under the context's accuracy request.
+
+    The whole study -- every trial -- is memoized as one entry keyed by the
+    (architecture-derived link operating point + DAC/ADC bits, noise spec,
+    model, inputs, trials, seed) triple, so re-evaluating an unchanged
+    (arch, noise-spec, workload) combination is a single cache hit.  Fresh
+    studies fan their independent trials out over the request's execution
+    backend (:mod:`repro.exec`); results are backend-invariant by construction.
+    """
+
+    name = "mc_accuracy"
+
+    def run(self, ctx: EvaluationContext) -> None:
+        request = ctx.accuracy_request
+        if request is None:
+            return
+        # Lazy import: repro.variation imports the engine for its convenience
+        # entry points, so the engine only touches it when accuracy is asked for.
+        from repro.variation.montecarlo import LinkOperatingPoint, run_monte_carlo
+
+        archs = ReceiverPrecisionPass._target_archs(ctx)
+        if not archs:
+            raise ValueError("accuracy evaluation needs a target architecture")
+        arch = archs[0]
+        link_report = ctx.link_budgets[arch.name]
+        link = LinkOperatingPoint(
+            optical_power_mw=link_report.laser_optical_power_mw,
+            insertion_loss_db=link_report.insertion_loss_db,
+            bandwidth_ghz=arch.config.frequency_ghz,
+            analyzer=self.engine.snr_analyzer,
+        )
+        nominal_snr = ctx.snr_reports.get(arch.name)
+        bits = (
+            arch.config.input_bits,
+            arch.config.weight_bits,
+            arch.config.output_bits,
+        )
+
+        def compute():
+            return run_monte_carlo(
+                request,
+                input_bits=bits[0],
+                weight_bits=bits[1],
+                output_bits=bits[2],
+                link=link,
+                nominal_snr=nominal_snr,
+            )
+
+        cache = self.engine.cache
+        if not cache.enabled:
+            ctx.accuracy_report = compute()
+            return
+        key = fingerprint(request.fingerprint(), bits, link)
+        ctx.accuracy_report = cache.get_or_compute(self.name, key, compute)
 
 
 class AreaPass(EnginePass):
@@ -824,9 +901,11 @@ class EvaluationEngine:
         self.area_analyzer = AreaAnalyzer(self.config)
         self.link_budget_analyzer = LinkBudgetAnalyzer()
         self.memory_analyzer = MemoryAnalyzer(self.config)
+        self.snr_analyzer = SNRAnalyzer()
         self.passes: List[EnginePass] = [
             factory(self) for factory in (passes or self.DEFAULT_PASSES)
         ]
+        self._accuracy_pipeline: Optional[List[EnginePass]] = None
 
     # -- workload normalization ---------------------------------------------------------
     @staticmethod
@@ -862,8 +941,61 @@ class EvaluationEngine:
             default_subarch=self.default_subarch,
         )
 
-    def _execute(self, ctx: EvaluationContext) -> EvaluationContext:
-        for stage in self.passes:
+    # -- memoized per-architecture analyses (shared by several passes) ------------------
+    def link_budget_for(self, arch: Architecture) -> LinkBudgetReport:
+        """The architecture's link budget, with critical path and optics memoized."""
+        analyzer = self.link_budget_analyzer
+        cache = self.cache
+        if not cache.enabled:
+            return analyzer.analyze(arch)
+        optics = cache.get_or_compute(
+            "optics_profile",
+            structure_token(arch),
+            lambda: analyzer.optics_profile(arch),
+        )
+        return analyzer.analyze(
+            arch, critical_path=self._critical_path_for(arch), optics=optics
+        )
+
+    def _critical_path_for(self, arch: Architecture) -> CriticalPath:
+        cache = self.cache
+        netlist = arch.link_netlist
+        multipliers = arch.loss_multipliers()
+        loss_items = tuple(
+            (
+                name,
+                arch.library.get(inst.device).insertion_loss_db,
+                multipliers.get(name, 1.0),
+            )
+            for name, inst in netlist.instances.items()
+        )
+        key = (netlist_fingerprint(netlist), loss_items)
+
+        def compute() -> CriticalPath:
+            if cache.enabled:
+                chain = _chain_order(netlist)
+                if chain is not None:
+                    losses = {name: loss * mult for name, loss, mult in loss_items}
+                    total = losses[chain[0]]
+                    # Same accumulation order (and tie-breaking epsilon) as the
+                    # weighted DAG longest path over a linear chain.
+                    edge_sum = 0.0
+                    for dst in chain[1:]:
+                        edge_sum += losses[dst] + 1e-9
+                    return CriticalPath(
+                        instances=tuple(chain),
+                        insertion_loss_db=float(edge_sum + total),
+                    )
+            return arch.critical_path()
+
+        return cache.get_or_compute("critical_path", key, compute)
+
+    def _execute(
+        self,
+        ctx: EvaluationContext,
+        passes: Optional[Sequence[EnginePass]] = None,
+    ) -> EvaluationContext:
+        for stage in passes if passes is not None else self.passes:
             observers = _PASS_OBSERVERS  # atomic tuple snapshot, re-read per stage
             if observers:
                 start = time.perf_counter()
@@ -890,6 +1022,42 @@ class EvaluationEngine:
     ) -> EvaluationContext:
         """Like :meth:`run` but returns the full pass context (no aggregate required)."""
         return self._execute(self.context_for(workloads))
+
+    def run_accuracy(self, request, arch: Optional[Architecture] = None):
+        """Monte Carlo inference accuracy of ``request`` on ``arch``.
+
+        Runs the variation-aware accuracy pipeline -- ``receiver_precision``
+        (link budget -> SNR -> effective resolvable bits) followed by
+        ``mc_accuracy`` (the Monte Carlo study itself) -- against this engine's
+        shared cache, so unchanged (architecture, noise-spec, workload) triples
+        are pure cache hits.  ``request`` is a
+        :class:`~repro.variation.montecarlo.AccuracyRequest`; ``arch`` defaults
+        to the engine's single architecture.  Returns the
+        :class:`~repro.variation.accuracy.AccuracyReport`.
+        """
+        target = arch if arch is not None else self.single_arch
+        if target is None:
+            raise ValueError(
+                "accuracy evaluation needs a single target architecture; pass "
+                "arch= explicitly for heterogeneous systems"
+            )
+        system = HeterogeneousArchitecture(
+            name=target.name, subarchs={target.name: target}
+        )
+        ctx = EvaluationContext(
+            system=system,
+            config=self.config,
+            workloads=[],
+            single_arch=target,
+        )
+        ctx.accuracy_request = request
+        if self._accuracy_pipeline is None:
+            self._accuracy_pipeline = [
+                ReceiverPrecisionPass(self),
+                MonteCarloAccuracyPass(self),
+            ]
+        self._execute(ctx, passes=self._accuracy_pipeline)
+        return ctx.accuracy_report
 
     def run_for(
         self,

@@ -19,10 +19,8 @@ import math
 from dataclasses import dataclass
 
 from repro.arch.architecture import Architecture
+from repro.core.constants import BOLTZMANN_J_PER_K, ELECTRON_CHARGE_C
 from repro.core.link_budget import LinkBudgetAnalyzer, LinkBudgetReport
-
-_ELECTRON_CHARGE_C = 1.602176634e-19
-_BOLTZMANN_J_PER_K = 1.380649e-23
 
 
 @dataclass(frozen=True)
@@ -87,9 +85,9 @@ class SNRAnalyzer:
         bandwidth_hz = bandwidth_ghz * 1e9
         photocurrent_a = self.responsivity_a_per_w * power_w
 
-        shot_a2 = 2.0 * _ELECTRON_CHARGE_C * photocurrent_a * bandwidth_hz
+        shot_a2 = 2.0 * ELECTRON_CHARGE_C * photocurrent_a * bandwidth_hz
         thermal_a2 = (
-            4.0 * _BOLTZMANN_J_PER_K * self.temperature_k * bandwidth_hz
+            4.0 * BOLTZMANN_J_PER_K * self.temperature_k * bandwidth_hz
             / self.load_resistance_ohm
         )
         rin_linear = 10.0 ** (self.rin_db_per_hz / 10.0)

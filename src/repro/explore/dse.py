@@ -63,6 +63,7 @@ from repro.exec import (
 )
 from repro.explore.search import SearchStrategy, resolve_strategy
 from repro.onn.workload import LayerWorkload
+from repro.variation.montecarlo import AccuracyRequest
 
 ArchBuilder = Callable[..., Architecture]
 WorkloadSet = Sequence[object]
@@ -71,7 +72,15 @@ ProgressCallback = Callable[["DesignPoint", int, int], None]
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluated design: its configuration values and the measured objectives."""
+    """One evaluated design: its configuration values and the measured objectives.
+
+    ``accuracy`` / ``error_rate`` are populated only when the explorer carries
+    an :class:`~repro.variation.montecarlo.AccuracyRequest`; they default to
+    ``None`` (not NaN -- ``None`` keeps record equality exact and makes a
+    missing evaluation fail loudly instead of corrupting a Pareto sweep).
+    ``error_rate`` is the minimize-me complement of the mean Monte Carlo
+    accuracy, so it composes with the other (minimized) objectives.
+    """
 
     parameters: Mapping[str, object]
     energy_uj: float
@@ -80,13 +89,22 @@ class DesignPoint:
     power_w: float
     laser_power_mw: float
     energy_per_mac_pj: float
+    accuracy: Optional[float] = None
+    error_rate: Optional[float] = None
 
     def objective(self, name: str) -> float:
         """Look up an objective by name (all objectives are minimized)."""
         try:
-            return float(getattr(self, name))
+            value = getattr(self, name)
         except AttributeError:
             raise KeyError(f"unknown objective {name!r}") from None
+        if value is None:
+            raise ValueError(
+                f"objective {name!r} was not evaluated for this design point; "
+                "pass accuracy=AccuracyRequest(...) to the explorer to enable "
+                "variation-aware accuracy objectives"
+            )
+        return float(value)
 
     def dominates(self, other: "DesignPoint", objectives: Sequence[str]) -> bool:
         """Pareto dominance: no worse in every objective, strictly better in one."""
@@ -267,6 +285,7 @@ class _DesignTaskContext:
     workloads: Tuple[object, ...]
     cache_enabled: bool
     cache_max_entries: Optional[int]
+    accuracy: Optional[AccuracyRequest] = None
 
 
 @dataclass
@@ -294,6 +313,7 @@ def _worker_explorer(shared: _DesignTaskContext) -> "DesignSpaceExplorer":
             cache=EvaluationCache(
                 enabled=shared.cache_enabled, max_entries=shared.cache_max_entries
             ),
+            accuracy=shared.accuracy,
         )
         _WORKER_EXPLORERS[shared.key] = explorer
     return explorer
@@ -352,6 +372,7 @@ class DesignSpaceExplorer:
         max_workers: Optional[int] = None,
         cache_max_entries: Optional[int] = None,
         backend: object = None,
+        accuracy: Optional[AccuracyRequest] = None,
     ) -> None:
         workloads = list(workloads)
         if not workloads:
@@ -376,6 +397,12 @@ class DesignSpaceExplorer:
             self.cache = EvaluationCache(
                 enabled=bool(cache), max_entries=cache_max_entries
             )
+        if accuracy is not None and not isinstance(accuracy, AccuracyRequest):
+            raise TypeError(
+                "accuracy must be an AccuracyRequest (repro.variation), "
+                f"got {type(accuracy).__name__}"
+            )
+        self.accuracy = accuracy
         self.max_workers = max_workers
         self._backend_spec = backend
         self._workloads_key = None
@@ -408,6 +435,7 @@ class DesignSpaceExplorer:
             tuple(sorted(overrides.items())),
             self._workload_set_key(),
             config_fingerprint(self.sim_config),
+            self.accuracy.fingerprint() if self.accuracy is not None else None,
         )
         return self.cache.get_or_compute(
             "design_point",
@@ -429,6 +457,12 @@ class DesignSpaceExplorer:
             self._engine = engine
         result = engine.run_for(arch, self.workloads)
         link = next(iter(result.link_budgets.values()))
+        accuracy: Optional[float] = None
+        error_rate: Optional[float] = None
+        if self.accuracy is not None:
+            report = engine.run_accuracy(self.accuracy, arch=arch)
+            accuracy = report.accuracy_mean
+            error_rate = report.error_rate
         return DesignPoint(
             parameters=dict(overrides),
             energy_uj=result.total_energy_uj,
@@ -437,6 +471,8 @@ class DesignSpaceExplorer:
             power_w=result.total_power_w,
             laser_power_mw=link.total_laser_electrical_power_mw,
             energy_per_mac_pj=result.energy_per_mac_pj,
+            accuracy=accuracy,
+            error_rate=error_rate,
         )
 
     # -- process-backend task encoding -------------------------------------------------
@@ -460,6 +496,15 @@ class DesignSpaceExplorer:
             self._workload_set_key(),
             self.cache.enabled,
             self.cache.max_entries,
+            self.accuracy.fingerprint() if self.accuracy is not None else None,
+        )
+        # Monte Carlo trials run inline inside each worker: a design point is
+        # already one process-pool task, so a nested trial pool would only
+        # oversubscribe (results are backend-invariant either way).
+        accuracy = (
+            dataclasses.replace(self.accuracy, backend=None, jobs=None)
+            if self.accuracy is not None
+            else None
         )
         return _DesignTaskContext(
             key=key,
@@ -469,6 +514,7 @@ class DesignSpaceExplorer:
             workloads=tuple(self.workloads),
             cache_enabled=self.cache.enabled,
             cache_max_entries=self.cache.max_entries,
+            accuracy=accuracy,
         )
 
     # -- exploration loop ------------------------------------------------------------

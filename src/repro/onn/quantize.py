@@ -7,7 +7,8 @@ workload records carry the values the hardware will actually see.
 
 from __future__ import annotations
 
-from typing import Tuple
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +44,26 @@ def quantize_uniform(
     levels = 2**bits - 1
     scale = (high - low) / levels
     return np.round((values - low) / scale) * scale + low
+
+
+def receiver_limited_bits(nominal_bits: int, effective_bits: Optional[float]) -> int:
+    """DAC/ADC resolution the optical link can actually deliver.
+
+    The converter may be built for ``nominal_bits``, but the receiver only
+    resolves :attr:`~repro.core.snr.SNRReport.effective_bits` amplitude levels;
+    quantizing operands to ``min(nominal, floor(effective))`` makes the
+    simulated grid reflect what the link closes, floored at 1 bit so a
+    degenerate link (zero received power) still produces a finite, NaN-free
+    evaluation instead of a divide-by-zero.  ``None`` or infinite
+    ``effective_bits`` means "receiver not modeled": the nominal grid applies.
+    """
+    if nominal_bits < 1:
+        raise ValueError(f"nominal_bits must be >= 1, got {nominal_bits}")
+    if effective_bits is None or math.isinf(effective_bits):
+        return nominal_bits
+    if math.isnan(effective_bits):
+        raise ValueError("effective_bits must not be NaN")
+    return max(1, min(nominal_bits, int(math.floor(effective_bits))))
 
 
 def quantization_error(values: np.ndarray, bits: int, symmetric: bool = True) -> float:

@@ -40,13 +40,17 @@ from repro.onn import ONNConversionConfig, convert_to_onn, extract_workloads
 from repro.onn.models import build_bert_base_image, build_vgg8_cifar10
 from repro.scenarios.registry import REGISTRY, ScenarioContext
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
+from repro.onn.quantize import receiver_limited_bits
 from repro.scenarios.workloads import (
     ablation_workload,
     large_grid_workloads,
+    mc_classifier_inputs,
+    mc_classifier_model,
     paper_gemm,
     scatter_conv_workload,
 )
 from repro.utils.format import format_table
+from repro.variation import AccuracyRequest, standard_noise
 
 # ---------------------------------------------------------------------------------
 # Table I: PTC taxonomy
@@ -575,12 +579,14 @@ def _check_fig10b(result: ScenarioResult) -> None:
         templates=("scatter",),
         workloads=("scatter_conv_layer",),
         columns=("mode", "PS (uJ)", "MZM (uJ)", "total (uJ)", "paper PS (uJ)"),
+        params={"workload_seed": 7},
+        env_params={"workload_seed": "REPRO_FIG10B_SEED"},
         tags=("validation",),
     ),
     verify=_check_fig10b,
 )
 def _build_fig10b(ctx: ScenarioContext) -> ScenarioResult:
-    workload = scatter_conv_workload()
+    workload = scatter_conv_workload(seed=int(ctx.params["workload_seed"]))
     results = {}
 
     # (1) data-unaware: every phase shifter burns its nominal P_pi power.
@@ -757,6 +763,8 @@ def _check_dse_ablation(result: ScenarioResult) -> None:
         strategy="grid",
         objectives=("energy_uj", "latency_ns", "area_mm2"),
         columns=("design point", "energy (uJ)", "latency (ns)", "area (mm2)", "pareto"),
+        params={"workload_seed": 5},
+        env_params={"workload_seed": "REPRO_ABLATION_SEED"},
         tags=("dse",),
     ),
     verify=_check_dse_ablation,
@@ -775,7 +783,7 @@ def _build_dse_ablation(ctx: ScenarioContext) -> ScenarioResult:
     ]
     dse_table = format_table(list(ctx.spec.columns), rows)
 
-    workload = ablation_workload()
+    workload = ablation_workload(seed=int(ctx.params["workload_seed"]))
     settings = {
         "full model": {},
         "no layout awareness": {"use_layout_aware_area": False},
@@ -1146,4 +1154,340 @@ def _build_dse_scaling(ctx: ScenarioContext) -> ScenarioResult:
             "cache_stats": stats,
         },
         extras={"seed_result": seed_result, "cold_result": cold_result},
+    )
+
+
+# ---------------------------------------------------------------------------------
+# Extension: variation-aware Monte Carlo accuracy (repro.variation)
+# ---------------------------------------------------------------------------------
+
+_ROBUSTNESS_MAGNITUDES = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def _mc_request(
+    ctx: ScenarioContext, noise, reference: str = "quantized"
+) -> AccuracyRequest:
+    """An AccuracyRequest from the scenario's shared model/input/seed parameters."""
+    jobs = int(ctx.params.get("jobs", 0)) or None
+    backend = str(ctx.params.get("backend", "serial"))
+    return AccuracyRequest(
+        model=mc_classifier_model(seed=int(ctx.params["model_seed"])),
+        inputs=mc_classifier_inputs(
+            samples=int(ctx.params["samples"]), seed=int(ctx.params["input_seed"])
+        ),
+        noise=noise,
+        trials=int(ctx.params["trials"]),
+        seed=int(ctx.params["seed"]),
+        reference=reference,
+        backend=backend,
+        jobs=jobs,
+    )
+
+
+def _check_variation_robustness(result: ScenarioResult) -> None:
+    series = {float(k): v for k, v in result.metrics["series"].items()}
+    magnitudes = sorted(series)
+    assert magnitudes == sorted(_ROBUSTNESS_MAGNITUDES)
+    # Zero variation is exact fidelity to the quantized hardware baseline.
+    assert series[0.0]["accuracy_mean"] == 1.0
+    assert series[0.0]["rmse_mean"] == 0.0
+    accuracies = [series[m]["accuracy_mean"] for m in magnitudes]
+    rmses = [series[m]["rmse_mean"] for m in magnitudes]
+    for value in accuracies:
+        assert 0.0 <= value <= 1.0
+    # Accuracy degrades (monotonically, modulo Monte Carlo wiggle) and the
+    # output error grows as the noise magnitude scales up.
+    for earlier, later in zip(accuracies, accuracies[1:]):
+        assert later <= earlier + 0.01
+    assert accuracies[-1] < accuracies[0]
+    assert rmses[-1] > rmses[0]
+    # The drifted link resolves no more than the nominal operating point.
+    for magnitude in magnitudes:
+        assert (
+            series[magnitude]["effective_bits_mean"]
+            <= series[magnitude]["effective_bits_nominal"] + 0.05
+        )
+
+
+@REGISTRY.register(
+    ScenarioSpec(
+        name="variation_robustness",
+        title="Monte Carlo ONN accuracy vs device-variation magnitude (TeMPO)",
+        figure="extension",
+        templates=("tempo",),
+        workloads=("mc_classifier",),
+        columns=("noise scale", "eff bits (nom)", "eff bits (mean)",
+                 "accuracy (mean)", "accuracy (std)", "accuracy (min)",
+                 "output RMSE"),
+        params={
+            "trials": 24,
+            "seed": 7,
+            "model_seed": 3,
+            "input_seed": 9,
+            "samples": 48,
+            "backend": "serial",
+            "jobs": 0,
+        },
+        env_params={
+            "trials": "REPRO_MC_TRIALS",
+            "backend": "REPRO_MC_BACKEND",
+            "jobs": "REPRO_MC_JOBS",
+        },
+        description=(
+            "Scales a representative silicon-photonics noise corner "
+            "(weight-encoding error, phase noise, crosstalk, link-loss drift) "
+            "and Monte Carlo-samples the classifier's fidelity to the "
+            "noise-free quantized baseline.  Per-trial seeds derive from "
+            "(seed, trial index), so the rendered table is byte-identical on "
+            "the serial, thread and process backends; `jobs=0` means one "
+            "worker per core."
+        ),
+        tags=("smoke", "variation", "montecarlo"),
+    ),
+    verify=_check_variation_robustness,
+)
+def _build_variation_robustness(ctx: ScenarioContext) -> ScenarioResult:
+    arch = build_tempo()
+    base = standard_noise()
+    rows = []
+    series = {}
+    for magnitude in _ROBUSTNESS_MAGNITUDES:
+        request = _mc_request(ctx, base.scaled(magnitude))
+        report = ctx.evaluate_accuracy(arch, request)
+        series[magnitude] = {
+            "accuracy_mean": report.accuracy_mean,
+            "accuracy_std": report.accuracy_std,
+            "accuracy_min": report.accuracy_min,
+            "error_rate": report.error_rate,
+            "rmse_mean": report.rmse_mean,
+            "effective_bits_nominal": report.effective_bits_nominal,
+            "effective_bits_mean": report.effective_bits_mean,
+        }
+        rows.append(
+            (
+                f"{magnitude:.2f}",
+                f"{report.effective_bits_nominal:.3f}",
+                f"{report.effective_bits_mean:.3f}",
+                f"{report.accuracy_mean:.4f}",
+                f"{report.accuracy_std:.4f}",
+                f"{report.accuracy_min:.4f}",
+                f"{report.rmse_mean:.5f}",
+            )
+        )
+    table = format_table(list(ctx.spec.columns), rows)
+    return ScenarioResult(
+        table=table,
+        metrics={"series": series, "trials": int(ctx.params["trials"])},
+    )
+
+
+# ---------------------------------------------------------------------------------
+# Extension: accuracy vs DAC/ADC precision under the receiver-limited grid
+# ---------------------------------------------------------------------------------
+
+_PRECISION_BITS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def _check_accuracy_vs_precision(result: ScenarioResult) -> None:
+    series = {int(k): v for k, v in result.metrics["series"].items()}
+    bits_axis = sorted(series)
+    assert len(bits_axis) >= 2
+    accuracies = [series[b]["accuracy_mean"] for b in bits_axis]
+    # Finer converters recover fidelity: the trend rises from the coarsest to
+    # the finest bitwidth and is monotone modulo a small Monte Carlo wiggle.
+    assert accuracies[-1] > accuracies[0]
+    for earlier, later in zip(accuracies, accuracies[1:]):
+        assert later >= earlier - 0.02
+    # Quantization error shrinks with precision.
+    assert series[bits_axis[-1]]["rmse_mean"] < series[bits_axis[0]]["rmse_mean"]
+    # The receiver can never resolve more levels than the converters encode.
+    for bits in bits_axis:
+        assert series[bits]["resolved_bits"] <= bits
+
+
+@REGISTRY.register(
+    ScenarioSpec(
+        name="accuracy_vs_precision",
+        title="Monte Carlo accuracy vs DAC/ADC bitwidth (TeMPO, receiver-limited)",
+        figure="extension",
+        templates=("tempo",),
+        workloads=("mc_classifier",),
+        columns=("bitwidth", "link eff bits", "resolved bits", "accuracy (mean)",
+                 "accuracy (std)", "output RMSE"),
+        params={
+            # Swept as a zipped (b, b, b) diagonal over all three converter
+            # bitwidths -- not a cross-product, so it lives in params rather
+            # than declarative `sweep` axes (which mean a full grid).
+            "precision_bits": ",".join(str(b) for b in _PRECISION_BITS),
+            "trials": 8,
+            "seed": 11,
+            "model_seed": 3,
+            "input_seed": 9,
+            "samples": 48,
+            "backend": "serial",
+            "jobs": 0,
+        },
+        env_params={"precision_bits": "REPRO_PRECISION_BITS"},
+        description=(
+            "The three bitwidth axes are swept together (b, b, b).  Operands "
+            "quantize to min(DAC/ADC bits, SNR-derived effective bits), so the "
+            "curve shows where converter precision outruns what the optical "
+            "link actually resolves."
+        ),
+        tags=("variation", "sweep"),
+    ),
+    verify=_check_accuracy_vs_precision,
+)
+def _build_accuracy_vs_precision(ctx: ScenarioContext) -> ScenarioResult:
+    noise = standard_noise().scaled(0.5)
+    bits_axis = tuple(
+        int(b) for b in str(ctx.params["precision_bits"]).split(",") if b.strip()
+    )
+    rows = []
+    series = {}
+    for bits in bits_axis:
+        arch = build_tempo(
+            config=ArchitectureConfig(
+                input_bits=bits, weight_bits=bits, output_bits=bits
+            ),
+            name=f"tempo_mc_b{bits}",
+        )
+        report = ctx.evaluate_accuracy(arch, _mc_request(ctx, noise, reference="float"))
+        resolved = receiver_limited_bits(bits, report.effective_bits_nominal)
+        series[bits] = {
+            "accuracy_mean": report.accuracy_mean,
+            "accuracy_std": report.accuracy_std,
+            "rmse_mean": report.rmse_mean,
+            "effective_bits_nominal": report.effective_bits_nominal,
+            "resolved_bits": resolved,
+        }
+        rows.append(
+            (
+                bits,
+                f"{report.effective_bits_nominal:.3f}",
+                resolved,
+                f"{report.accuracy_mean:.4f}",
+                f"{report.accuracy_std:.4f}",
+                f"{report.rmse_mean:.5f}",
+            )
+        )
+    table = format_table(list(ctx.spec.columns), rows)
+    return ScenarioResult(table=table, metrics={"series": series})
+
+
+# ---------------------------------------------------------------------------------
+# Extension: accuracy-vs-energy Pareto exploration (accuracy as a DSE objective)
+# ---------------------------------------------------------------------------------
+
+_PARETO_SWEEP = {
+    "input_bits": (4, 6, 8),
+    "core_height": (4, 8),
+    "core_width": (4, 8),
+}
+
+
+def _check_accuracy_energy_pareto(result: ScenarioResult) -> None:
+    points = result.metrics["points"]
+    front_params = result.metrics["front_params"]
+    assert len(points) == 12
+    assert 1 <= len(front_params) <= len(points)
+    for point in points:
+        assert 0.0 <= point["error_rate"] <= 1.0
+        assert point["energy_uj"] > 0.0
+        assert abs(point["error_rate"] + point["accuracy"] - 1.0) < 1e-12
+    # The front attains both single-objective optima (Pareto sanity; ties in
+    # one objective are broken by the other, so compare values, not identities).
+    front_points = [p for p in points if p["params"] in front_params]
+    for objective in ("error_rate", "energy_uj"):
+        best = min(p[objective] for p in points)
+        assert min(p[objective] for p in front_points) == best
+    # Paying for wider converters buys fidelity: 8-bit designs are no less
+    # accurate than 4-bit designs on average.
+    by_bits = {}
+    for point in points:
+        by_bits.setdefault(point["params"]["input_bits"], []).append(point["error_rate"])
+    mean_err = {bits: sum(v) / len(v) for bits, v in by_bits.items()}
+    assert mean_err[8] <= mean_err[4]
+
+
+@REGISTRY.register(
+    ScenarioSpec(
+        name="accuracy_energy_pareto",
+        title="Accuracy-vs-energy Pareto front over TeMPO (variation-aware DSE)",
+        figure="extension",
+        templates=("tempo",),
+        workloads=("mc_classifier",),
+        sweep=_PARETO_SWEEP,
+        strategy="grid",
+        objectives=("error_rate", "energy_uj"),
+        columns=("design point", "error rate", "accuracy", "energy (uJ)", "pareto"),
+        params={
+            "trials": 6,
+            "seed": 7,
+            "model_seed": 3,
+            "input_seed": 9,
+            "samples": 48,
+            "backend": "serial",
+            "jobs": 0,
+        },
+        env_params={"backend": "REPRO_PARETO_BACKEND", "jobs": "REPRO_PARETO_JOBS"},
+        description=(
+            "Sweeps converter precision and core geometry with Monte Carlo "
+            "inference accuracy as a first-class DSE objective next to energy: "
+            "wider converters burn more laser/converter energy but resolve "
+            "more levels, so the front traces the accuracy-energy trade-off."
+        ),
+        tags=("variation", "dse"),
+    ),
+    verify=_check_accuracy_energy_pareto,
+)
+def _build_accuracy_energy_pareto(ctx: ScenarioContext) -> ScenarioResult:
+    model = mc_classifier_model(seed=int(ctx.params["model_seed"]))
+    inputs = mc_classifier_inputs(
+        samples=int(ctx.params["samples"]), seed=int(ctx.params["input_seed"])
+    )
+    request = AccuracyRequest(
+        model=model,
+        inputs=inputs,
+        noise=standard_noise(),
+        trials=int(ctx.params["trials"]),
+        seed=int(ctx.params["seed"]),
+    )
+    workloads = extract_workloads(model, inputs)
+    explorer = ctx.explorer(
+        build_tempo,
+        workloads,
+        base_config=ctx.spec.arch_config(),
+        accuracy=request,
+    )
+    backend = str(ctx.params["backend"])
+    jobs = int(ctx.params["jobs"]) or None
+    result = explorer.explore(
+        ctx.design_space(), strategy=ctx.spec.strategy, backend=backend,
+        max_workers=jobs,
+    )
+    front = result.pareto_front(ctx.spec.objectives)
+    rows = [
+        (", ".join(f"{k}={v}" for k, v in sorted(p.parameters.items())),
+         f"{p.error_rate:.4f}", f"{p.accuracy:.4f}", f"{p.energy_uj:.4f}",
+         "yes" if p in front else "no")
+        for p in result.points
+    ]
+    table = format_table(list(ctx.spec.columns), rows)
+    return ScenarioResult(
+        table=table,
+        metrics={
+            "points": [
+                {
+                    "params": dict(p.parameters),
+                    "error_rate": p.error_rate,
+                    "accuracy": p.accuracy,
+                    "energy_uj": p.energy_uj,
+                }
+                for p in result.points
+            ],
+            "front_params": [dict(p.parameters) for p in front],
+            "backend": result.backend,
+        },
+        extras={"dse_result": result, "front": front},
     )

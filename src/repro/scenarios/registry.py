@@ -84,6 +84,17 @@ class ScenarioContext:
             raise ValueError(f"scenario {self.spec.name!r} declares no sweep axes")
         return DesignSpace.from_axes(self.spec.sweep)
 
+    def evaluate_accuracy(self, arch: Architecture, request) -> object:
+        """Monte Carlo accuracy of ``request`` on ``arch`` via the shared cache.
+
+        ``request`` is a :class:`~repro.variation.montecarlo.AccuracyRequest`;
+        the study runs through the engine's memoized ``receiver_precision`` /
+        ``mc_accuracy`` passes, so repeated magnitudes or architectures within
+        a batch are cache hits.
+        """
+        engine = EvaluationEngine(arch, self.spec.sim_config(), cache=self.cache)
+        return engine.run_accuracy(request)
+
 
 @dataclass
 class Scenario:

@@ -10,6 +10,30 @@ import numpy as np
 
 from repro.dataflow.gemm import GEMMWorkload
 
+#: Default layer widths of the Monte Carlo accuracy classifier.
+MC_CLASSIFIER_SIZES = (16, 24, 12, 6)
+
+
+def mc_classifier_model(seed: int = 3, layer_sizes=MC_CLASSIFIER_SIZES):
+    """The small ReLU MLP classifier the variation scenarios evaluate.
+
+    Deliberately tiny (a few thousand MACs per sample) so a full Monte Carlo
+    study stays in scenario-smoke territory; the model seed is a scenario
+    parameter so robustness studies can vary the weights without editing source.
+    """
+    from repro.onn.models import build_mlp
+
+    return build_mlp(tuple(layer_sizes), rng=np.random.default_rng(seed))
+
+
+def mc_classifier_inputs(
+    samples: int = 48, features: int = MC_CLASSIFIER_SIZES[0], seed: int = 9
+) -> np.ndarray:
+    """The fixed evaluation batch fed to the Monte Carlo classifier."""
+    if samples < 1 or features < 1:
+        raise ValueError("samples and features must be positive")
+    return np.random.default_rng(seed).normal(0.0, 1.0, size=(samples, features))
+
 
 def paper_gemm(bits: int = 8, seed: int = 0) -> GEMMWorkload:
     """The (280x28) x (28x280) GEMM used for the TeMPO validation and sweeps."""
@@ -27,9 +51,9 @@ def paper_gemm(bits: int = 8, seed: int = 0) -> GEMMWorkload:
     )
 
 
-def scatter_conv_workload() -> GEMMWorkload:
+def scatter_conv_workload(seed: int = 7) -> GEMMWorkload:
     """The SCATTER convolution layer of the Fig. 10(b) data-awareness study."""
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(seed)
     return GEMMWorkload(
         "scatter_conv_layer",
         m=1024,
@@ -66,9 +90,9 @@ def large_grid_workloads(seed: int = 11) -> list:
     ]
 
 
-def ablation_workload() -> GEMMWorkload:
+def ablation_workload(seed: int = 5) -> GEMMWorkload:
     """The mid-size layer used by the modeling-feature ablation study."""
-    rng = np.random.default_rng(5)
+    rng = np.random.default_rng(seed)
     return GEMMWorkload(
         "ablation_layer",
         m=512,

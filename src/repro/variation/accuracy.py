@@ -1,0 +1,223 @@
+"""Noisy ONN inference and accuracy/error metrics.
+
+:func:`noisy_forward` runs a purely functional forward pass of an
+:class:`~repro.onn.layers.Sequential` model under a
+:class:`~repro.variation.models.NoiseSpec`: operands are snapped to the
+receiver-limited DAC/ADC grid (:func:`~repro.onn.quantize.receiver_limited_bits`
+caps the nominal converter resolution at the link's SNR-derived effective
+bits), weights are perturbed per weighted layer, and activations pick up
+crosstalk after every analog matmul.  The shared model object is never mutated
+-- perturbed weights live on shallow per-layer clones -- so concurrent trials
+on the thread backend are safe.
+
+The accuracy metric is *fidelity to the ideal hardware*: agreement of the noisy
+argmax with the argmax of the noise-free (but still quantized) forward pass.
+A zero-magnitude noise spec therefore scores exactly 1.0, and the metric
+isolates what variation costs on top of quantization.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.cache import digest, memoized_fingerprint
+from repro.onn.layers import Module, Sequential
+from repro.onn.quantize import quantize_uniform, receiver_limited_bits
+from repro.variation.models import IDEAL, NoiseSpec
+
+#: RNG used for noise-free reference passes (an empty spec draws nothing).
+_NULL_RNG = np.random.default_rng(0)
+
+
+def _holds_modules(value: object) -> bool:
+    if isinstance(value, Module):
+        return True
+    if isinstance(value, (list, tuple)):
+        return any(isinstance(item, Module) for item in value)
+    return False
+
+
+def model_fingerprint(model: Module) -> str:
+    """Content digest of a model: every layer's class and functional state.
+
+    Hashes each module's full ``__dict__`` (weights, masks, bitwidths, but also
+    structural knobs like pool kernel sizes, conv strides and norm scales), so
+    two models that forward differently never share a digest.  Sub-modules are
+    excluded from the per-layer state because :meth:`Module.modules` already
+    walks them.  Memoized on the model object; like workloads, models handed to
+    the evaluation machinery are treated as immutable (mutate a copy between
+    runs).
+    """
+
+    def compute() -> str:
+        parts = []
+        for module in model.modules():
+            state = tuple(
+                (name, value)
+                for name, value in sorted(vars(module).items())
+                if not name.startswith("_repro_") and not _holds_modules(value)
+            )
+            parts.append((type(module).__name__, state))
+        return digest("onn-model", tuple(parts))
+
+    return memoized_fingerprint(model, compute)
+
+
+def _forward_layers(model: Module) -> Tuple[Module, ...]:
+    if isinstance(model, Sequential):
+        return tuple(model.layers)
+    return (model,)
+
+
+def noisy_forward(
+    model: Module,
+    x: np.ndarray,
+    spec: NoiseSpec,
+    rng: Optional[np.random.Generator] = None,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    output_bits: int = 8,
+    effective_bits: Optional[float] = None,
+) -> np.ndarray:
+    """Forward ``x`` through ``model`` under device variation.
+
+    ``input_bits``/``weight_bits``/``output_bits`` are the hardware DAC/ADC
+    resolutions (typically ``arch.config.*_bits``); each is capped at the
+    link's ``effective_bits`` before quantization.  ``rng`` supplies the
+    trial's random stream (required only when ``spec`` has stochastic models).
+    """
+    rng = rng if rng is not None else _NULL_RNG
+    in_bits = receiver_limited_bits(input_bits, effective_bits)
+    w_bits = receiver_limited_bits(weight_bits, effective_bits)
+    out_bits = receiver_limited_bits(output_bits, effective_bits)
+
+    x = quantize_uniform(np.asarray(x, dtype=float), in_bits)
+    for layer in _forward_layers(model):
+        weight = getattr(layer, "weight", None)
+        if weight is None:
+            x = layer.forward(x)
+            continue
+        perturbed = spec.perturb_weights(
+            layer.effective_weight() if hasattr(layer, "effective_weight") else weight,
+            rng,
+        )
+        mask = getattr(layer, "pruning_mask", None)
+        if mask is not None:
+            # Pruned devices are powered off: they stay exactly zero under noise.
+            perturbed = np.where(mask, perturbed, 0.0)
+        clone = copy.copy(layer)
+        clone.weight = quantize_uniform(perturbed, w_bits)
+        clone.pruning_mask = None  # already applied above
+        x = clone.forward(x)
+        x = spec.perturb_activations(x, rng)
+        x = quantize_uniform(x, out_bits)
+    return x
+
+
+def reference_forward(
+    model: Module,
+    x: np.ndarray,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    output_bits: int = 8,
+    effective_bits: Optional[float] = None,
+) -> np.ndarray:
+    """The noise-free hardware baseline: quantized forward, no variation."""
+    return noisy_forward(
+        model,
+        x,
+        IDEAL,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+        output_bits=output_bits,
+        effective_bits=effective_bits,
+    )
+
+
+def classification_agreement(outputs: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of samples whose argmax matches the reference argmax."""
+    outputs = np.atleast_2d(np.asarray(outputs, dtype=float))
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    if outputs.shape != reference.shape:
+        raise ValueError(
+            f"output shape {outputs.shape} does not match reference {reference.shape}"
+        )
+    return float(np.mean(outputs.argmax(axis=-1) == reference.argmax(axis=-1)))
+
+
+def output_rmse(outputs: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square deviation of the noisy outputs from the reference."""
+    outputs = np.asarray(outputs, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    return float(np.sqrt(np.mean((outputs - reference) ** 2)))
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Picklable outcome of one Monte Carlo trial."""
+
+    trial: int
+    accuracy: float
+    rmse: float
+    effective_bits: float
+    extra_loss_db: float
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregated Monte Carlo accuracy under a noise spec.
+
+    ``accuracy_*`` statistics are over the per-trial classification agreement
+    with the noise-free quantized reference; ``effective_bits_nominal`` is the
+    receiver precision at the spec's deterministic (static) link penalty, and
+    ``effective_bits_mean`` averages the per-trial drifted values.  All fields
+    are finite by construction (degenerate links floor at 1 resolved bit), so
+    reports are safe to feed to :func:`repro.explore.dse.pareto_front`.
+    """
+
+    trials: int
+    seed: int
+    accuracy_mean: float
+    accuracy_std: float
+    accuracy_min: float
+    accuracy_max: float
+    rmse_mean: float
+    rmse_max: float
+    effective_bits_nominal: float
+    effective_bits_mean: float
+    accuracies: Tuple[float, ...] = ()
+
+    @property
+    def error_rate(self) -> float:
+        """The minimize-me complement of the mean accuracy (a DSE objective)."""
+        return 1.0 - self.accuracy_mean
+
+
+def aggregate_trials(
+    results: Tuple[TrialResult, ...],
+    seed: int,
+    effective_bits_nominal: float,
+) -> AccuracyReport:
+    """Fold per-trial results (in trial order) into an :class:`AccuracyReport`."""
+    if not results:
+        raise ValueError("cannot aggregate zero Monte Carlo trials")
+    accuracies = np.array([r.accuracy for r in results])
+    rmses = np.array([r.rmse for r in results])
+    eff_bits = np.array([r.effective_bits for r in results])
+    return AccuracyReport(
+        trials=len(results),
+        seed=seed,
+        accuracy_mean=float(accuracies.mean()),
+        accuracy_std=float(accuracies.std()),
+        accuracy_min=float(accuracies.min()),
+        accuracy_max=float(accuracies.max()),
+        rmse_mean=float(rmses.mean()),
+        rmse_max=float(rmses.max()),
+        effective_bits_nominal=float(effective_bits_nominal),
+        effective_bits_mean=float(eff_bits.mean()),
+        accuracies=tuple(float(a) for a in accuracies),
+    )

@@ -1,0 +1,245 @@
+"""Composable device-variation and noise models.
+
+Each model is a small frozen dataclass describing one hardware non-ideality and
+how it perturbs an ONN inference:
+
+- :class:`WeightEncodingError` -- stochastic error on the weight-encoding DACs /
+  phase-shifter drivers (relative or absolute Gaussian on the weight values);
+- :class:`PhaseError` -- phase-programming noise on interferometric meshes,
+  modeled as the amplitude penalty ``cos(dphi)`` of a misaligned phase;
+- :class:`Crosstalk` -- deterministic inter-channel leakage: every output lane
+  receives a ``coupling`` fraction of the average of its sibling lanes;
+- :class:`LinkLossDrift` -- insertion-loss / thermal drift on the optical link
+  budget: a deterministic ``mean_db`` penalty (thermal operating-point shift)
+  plus a per-trial Gaussian ``sigma_db`` drift.  This is the model that couples
+  variation to the receiver: extra loss lowers the received power, which lowers
+  the SNR-derived effective bits, which coarsens the DAC/ADC grid the link can
+  actually resolve.
+
+A :class:`NoiseSpec` composes any number of models.  Specs are pure data
+(frozen dataclasses of floats), so they are picklable for process-backend
+fan-out and canonically fingerprintable for the engine's memoized passes, and
+``scaled(factor)`` produces the magnitude sweeps robustness studies need.
+
+All stochastic perturbations draw from the ``numpy.random.Generator`` handed in
+by the caller; models never hold RNG state, which is what keeps Monte Carlo
+trials bit-identical across execution backends (see
+:mod:`repro.variation.sampler`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Base class: a no-op non-ideality.  Subclasses override what they affect."""
+
+    def perturb_weights(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return weights
+
+    def perturb_activations(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return x
+
+    def static_loss_db(self) -> float:
+        """Deterministic extra insertion loss (dB) this model adds to the link."""
+        return 0.0
+
+    def sample_loss_db(self, rng: np.random.Generator) -> float:
+        """Per-trial extra insertion loss (dB); defaults to the static part."""
+        return self.static_loss_db()
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """This model with every magnitude parameter scaled by ``factor``."""
+        return self
+
+
+def _check_non_negative(label: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{label} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class WeightEncodingError(VariationModel):
+    """Gaussian error on the encoded weight values.
+
+    ``relative=True`` (the default) models driver/DAC gain error
+    (``w * (1 + N(0, sigma))``); ``relative=False`` models an additive offset
+    in weight units.
+    """
+
+    sigma: float = 0.01
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        _check_non_negative("WeightEncodingError.sigma", self.sigma)
+
+    def perturb_weights(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.normal(0.0, self.sigma, size=weights.shape)
+        if self.relative:
+            return weights * (1.0 + noise)
+        return weights + noise
+
+    def scaled(self, factor: float) -> "WeightEncodingError":
+        return dataclasses.replace(self, sigma=self.sigma * factor)
+
+
+@dataclass(frozen=True)
+class PhaseError(VariationModel):
+    """Phase-programming noise on an interferometric weight: ``w * cos(dphi)``.
+
+    A misprogrammed phase rotates part of the field out of the signal
+    quadrature; the projection onto the intended quadrature shrinks by
+    ``cos(dphi)``, so phase noise only ever *attenuates* the effective weight.
+    """
+
+    sigma_rad: float = 0.01
+
+    def __post_init__(self) -> None:
+        _check_non_negative("PhaseError.sigma_rad", self.sigma_rad)
+
+    def perturb_weights(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        dphi = rng.normal(0.0, self.sigma_rad, size=weights.shape)
+        return weights * np.cos(dphi)
+
+    def scaled(self, factor: float) -> "PhaseError":
+        return dataclasses.replace(self, sigma_rad=self.sigma_rad * factor)
+
+
+@dataclass(frozen=True)
+class Crosstalk(VariationModel):
+    """Deterministic inter-channel leakage between the lanes of a layer output.
+
+    Every lane keeps ``1 - coupling`` of its own value and receives ``coupling``
+    times the mean of the other lanes -- the aggregate first-order effect of
+    waveguide crossings and imperfect demultiplexing.  ``coupling`` is a linear
+    power ratio; use :meth:`from_db` for the usual "-30 dB crosstalk" spec.
+    """
+
+    coupling: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coupling <= 1.0:
+            raise ValueError(
+                f"Crosstalk.coupling must be in [0, 1], got {self.coupling!r}"
+            )
+
+    @classmethod
+    def from_db(cls, suppression_db: float) -> "Crosstalk":
+        """Crosstalk with the given suppression (e.g. ``30.0`` for -30 dB)."""
+        return cls(coupling=10.0 ** (-suppression_db / 10.0))
+
+    def perturb_activations(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.coupling == 0.0 or x.ndim == 0 or x.shape[-1] < 2:
+            return x
+        lanes = x.shape[-1]
+        leak = (x.sum(axis=-1, keepdims=True) - x) / (lanes - 1)
+        return (1.0 - self.coupling) * x + self.coupling * leak
+
+    def scaled(self, factor: float) -> "Crosstalk":
+        return dataclasses.replace(self, coupling=min(1.0, self.coupling * factor))
+
+
+@dataclass(frozen=True)
+class LinkLossDrift(VariationModel):
+    """Insertion-loss / thermal drift on the link budget.
+
+    ``mean_db`` is the deterministic operating-point penalty (thermal drift of
+    couplers and ring resonances); ``sigma_db`` adds a per-trial Gaussian
+    component.  Sampled drift is floored at zero extra loss -- variation never
+    makes the link *better* than its nominal budget.
+    """
+
+    mean_db: float = 0.0
+    sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("LinkLossDrift.mean_db", self.mean_db)
+        _check_non_negative("LinkLossDrift.sigma_db", self.sigma_db)
+
+    def static_loss_db(self) -> float:
+        return self.mean_db
+
+    def sample_loss_db(self, rng: np.random.Generator) -> float:
+        drift = self.mean_db + rng.normal(0.0, self.sigma_db)
+        return max(0.0, drift)
+
+    def scaled(self, factor: float) -> "LinkLossDrift":
+        return dataclasses.replace(
+            self, mean_db=self.mean_db * factor, sigma_db=self.sigma_db * factor
+        )
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """An ordered composition of variation models.
+
+    Model order is part of the spec: stochastic models consume the trial RNG in
+    sequence, so two specs with the same models in a different order are
+    (deliberately) different specs.
+    """
+
+    models: Tuple[VariationModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        for model in self.models:
+            if not isinstance(model, VariationModel):
+                raise TypeError(
+                    f"NoiseSpec models must be VariationModel instances, "
+                    f"got {type(model).__name__}"
+                )
+
+    # -- composition ------------------------------------------------------------------
+    def perturb_weights(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for model in self.models:
+            weights = model.perturb_weights(weights, rng)
+        return weights
+
+    def perturb_activations(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for model in self.models:
+            x = model.perturb_activations(x, rng)
+        return x
+
+    def static_loss_db(self) -> float:
+        """Deterministic link penalty: what the *nominal* receiver already pays."""
+        return sum(model.static_loss_db() for model in self.models)
+
+    def sample_loss_db(self, rng: np.random.Generator) -> float:
+        """Per-trial link penalty (always consumed before the forward pass)."""
+        return sum(model.sample_loss_db(rng) for model in self.models)
+
+    def scaled(self, factor: float) -> "NoiseSpec":
+        """Every model's magnitudes scaled by ``factor`` (robustness sweeps)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor!r}")
+        return NoiseSpec(tuple(model.scaled(factor) for model in self.models))
+
+    def __bool__(self) -> bool:
+        return bool(self.models)
+
+
+#: The no-noise spec (useful as the clean hardware reference).
+IDEAL = NoiseSpec()
+
+
+def standard_noise(
+    weight_sigma: float = 0.02,
+    phase_sigma_rad: float = 0.02,
+    crosstalk_db: float = 27.0,
+    loss_mean_db: float = 0.5,
+    loss_sigma_db: float = 0.25,
+) -> NoiseSpec:
+    """A representative silicon-photonics corner: encoding + phase + crosstalk + drift."""
+    return NoiseSpec(
+        (
+            WeightEncodingError(sigma=weight_sigma),
+            PhaseError(sigma_rad=phase_sigma_rad),
+            Crosstalk.from_db(crosstalk_db),
+            LinkLossDrift(mean_db=loss_mean_db, sigma_db=loss_sigma_db),
+        )
+    )

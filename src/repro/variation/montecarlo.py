@@ -1,0 +1,234 @@
+"""Monte Carlo orchestration: independent trials fanned over ``repro.exec``.
+
+One :class:`AccuracyRequest` describes an entire study -- the model, the
+evaluation inputs, the :class:`~repro.variation.models.NoiseSpec`, the trial
+count and the scenario seed, plus (execution detail, excluded from the request
+fingerprint) which execution backend runs the trials.  :func:`run_monte_carlo`
+computes the noise-free reference once, ships a picklable
+:class:`_TrialContext` to the backend, maps the trial indices, and folds the
+per-trial results in trial order -- so serial, thread and process runs produce
+bit-identical :class:`~repro.variation.accuracy.AccuracyReport` records.
+
+:func:`evaluate_accuracy` is the one-call entry point: it routes the request
+through :meth:`repro.core.engine.EvaluationEngine.run_accuracy`, whose
+``receiver_precision`` and ``mc_accuracy`` passes memoize the link-derived
+effective bits and the whole Monte Carlo study on the engine cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.cache import digest
+from repro.core.snr import SNRAnalyzer, SNRReport
+from repro.exec import resolve_backend
+from repro.onn.layers import Module
+from repro.variation.accuracy import (
+    AccuracyReport,
+    TrialResult,
+    aggregate_trials,
+    classification_agreement,
+    model_fingerprint,
+    noisy_forward,
+    output_rmse,
+    reference_forward,
+)
+from repro.variation.models import NoiseSpec
+from repro.variation.sampler import trial_rng
+
+
+@dataclass(frozen=True)
+class LinkOperatingPoint:
+    """The receiver-facing summary of a link budget.
+
+    Carries exactly what per-trial SNR re-evaluation needs -- the per-channel
+    laser optical power, the nominal critical-path insertion loss, the receiver
+    bandwidth and the receiver-chain noise model -- so trials can price extra
+    drift loss without shipping whole architectures to worker processes.  The
+    ``analyzer`` is the same one the engine's ``receiver_precision`` pass uses
+    (``None`` means the default receiver), so nominal and per-trial effective
+    bits come from one noise model.
+    """
+
+    optical_power_mw: float
+    insertion_loss_db: float
+    bandwidth_ghz: float
+    analyzer: Optional[SNRAnalyzer] = None
+
+    def snr(self, extra_loss_db: float = 0.0) -> SNRReport:
+        received_mw = self.optical_power_mw * 10.0 ** (
+            -(self.insertion_loss_db + extra_loss_db) / 10.0
+        )
+        analyzer = self.analyzer if self.analyzer is not None else SNRAnalyzer()
+        return analyzer.analyze_received_power(received_mw, self.bandwidth_ghz)
+
+    def effective_bits(self, extra_loss_db: float = 0.0) -> float:
+        return self.snr(extra_loss_db).effective_bits
+
+
+@dataclass(frozen=True)
+class AccuracyRequest:
+    """A complete Monte Carlo accuracy study over one model and noise spec.
+
+    ``backend``/``jobs`` choose how trials execute (any ``repro.exec`` spec);
+    they are deliberately excluded from :meth:`fingerprint` because every
+    backend produces bit-identical results -- two requests differing only in
+    where they run share one cache entry.
+    """
+
+    model: Module
+    inputs: np.ndarray
+    noise: NoiseSpec = field(default_factory=NoiseSpec)
+    trials: int = 32
+    seed: int = 0
+    #: What the noisy outputs are scored against: ``"quantized"`` (the
+    #: noise-free forward on the same receiver-limited DAC/ADC grid -- isolates
+    #: what *variation* costs) or ``"float"`` (the full-precision digital
+    #: model -- measures quantization and variation together, the right
+    #: baseline for precision sweeps).
+    reference: str = "quantized"
+    backend: object = None
+    jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        if self.reference not in ("quantized", "float"):
+            raise ValueError(
+                f"reference must be 'quantized' or 'float', got {self.reference!r}"
+            )
+        object.__setattr__(self, "inputs", np.asarray(self.inputs, dtype=float))
+
+    def fingerprint(self) -> str:
+        """Content address of the study (model + inputs + noise + trials + seed)."""
+        return digest(
+            "accuracy-request",
+            model_fingerprint(self.model),
+            self.inputs,
+            self.noise,
+            self.trials,
+            self.seed,
+            self.reference,
+        )
+
+
+@dataclass(frozen=True)
+class _TrialContext:
+    """Picklable task-invariant payload shipped once per worker chunk."""
+
+    model: Module
+    inputs: np.ndarray
+    reference: np.ndarray
+    spec: NoiseSpec
+    input_bits: int
+    weight_bits: int
+    output_bits: int
+    seed: int
+    link: Optional[LinkOperatingPoint]
+
+
+def _run_trial(shared: _TrialContext, trial: int) -> TrialResult:
+    """One Monte Carlo trial: a pure function of the shared context and its index."""
+    rng = trial_rng(shared.seed, trial)
+    extra_loss_db = shared.spec.sample_loss_db(rng)
+    if shared.link is not None:
+        effective_bits = shared.link.effective_bits(extra_loss_db)
+    else:
+        effective_bits = math.inf
+    outputs = noisy_forward(
+        shared.model,
+        shared.inputs,
+        shared.spec,
+        rng,
+        input_bits=shared.input_bits,
+        weight_bits=shared.weight_bits,
+        output_bits=shared.output_bits,
+        effective_bits=effective_bits,
+    )
+    return TrialResult(
+        trial=trial,
+        accuracy=classification_agreement(outputs, shared.reference),
+        rmse=output_rmse(outputs, shared.reference),
+        effective_bits=float(effective_bits),
+        extra_loss_db=float(extra_loss_db),
+    )
+
+
+def run_monte_carlo(
+    request: AccuracyRequest,
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    output_bits: int = 8,
+    link: Optional[LinkOperatingPoint] = None,
+    nominal_snr: Optional[SNRReport] = None,
+) -> AccuracyReport:
+    """Execute the study and return the aggregated report.
+
+    The reference (noise-free, quantized at the *static* link penalty) is
+    computed once in the caller; trials then fan out over the request's
+    execution backend and are aggregated in trial order, which keeps the
+    report bit-identical no matter which backend ran the trials.  When the
+    caller already holds the receiver's nominal :class:`SNRReport` (the
+    engine's memoized ``receiver_precision`` pass), passing it as
+    ``nominal_snr`` skips re-deriving it from the link.
+    """
+    static_loss_db = request.noise.static_loss_db()
+    if nominal_snr is not None:
+        nominal_bits = nominal_snr.effective_bits
+    elif link is not None:
+        nominal_bits = link.effective_bits(static_loss_db)
+    else:
+        nominal_bits = math.inf
+    if request.reference == "float":
+        reference = np.asarray(request.model.forward(request.inputs), dtype=float)
+    else:
+        reference = reference_forward(
+            request.model,
+            request.inputs,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+            output_bits=output_bits,
+            effective_bits=nominal_bits,
+        )
+    shared = _TrialContext(
+        model=request.model,
+        inputs=request.inputs,
+        reference=reference,
+        spec=request.noise,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+        output_bits=output_bits,
+        seed=request.seed,
+        link=link,
+    )
+    backend = resolve_backend(request.backend, request.jobs)
+    with backend.session():
+        results = backend.map_tasks(_run_trial, list(range(request.trials)), shared=shared)
+    return aggregate_trials(
+        tuple(results),
+        seed=request.seed,
+        effective_bits_nominal=float(nominal_bits),
+    )
+
+
+def evaluate_accuracy(
+    arch,
+    request: AccuracyRequest,
+    config=None,
+    cache=None,
+) -> AccuracyReport:
+    """Monte Carlo accuracy of ``request`` on ``arch``, through the engine passes.
+
+    Convenience wrapper constructing a fresh
+    :class:`~repro.core.engine.EvaluationEngine` (sharing ``cache`` when given)
+    and running its accuracy pipeline, so the link budget, receiver precision
+    and the whole study are memoized like any other engine pass.
+    """
+    from repro.core.engine import EvaluationEngine
+
+    engine = EvaluationEngine(arch, config, cache=cache)
+    return engine.run_accuracy(request)

@@ -96,6 +96,33 @@ class TestBatchAndReport:
         reference = (REPO_ROOT / "benchmarks" / "results" / "fig6_layout.txt").read_text()
         assert reference.rstrip("\n") in out
 
+    def test_report_format_json(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        main(["batch", "fig6_layout", "--store", store])
+        capsys.readouterr()
+
+        assert main(["report", "--store", store, "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in entries] == ["fig6_layout"]
+        assert set(entries[0]) >= {"name", "fingerprint", "created_at",
+                                   "elapsed_s", "params", "path"}
+
+        assert main(["report", "fig6_layout", "--store", store,
+                     "--format", "json"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert payloads[0]["name"] == "fig6_layout"
+        assert payloads[0]["metrics"]["num_placements"] == 5
+        assert payloads[0]["table"]
+
+    def test_report_json_empty_store_is_valid_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["report", "--store", str(tmp_path / "empty"),
+                     "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
     def test_report_missing_name_errors(self, tmp_path, capsys):
         store = str(tmp_path / "store")
         main(["batch", "fig6_layout", "--store", store])

@@ -222,16 +222,14 @@ class TestRebind:
 class TestCriticalPathMemo:
     def test_chain_fast_path_matches_dag(self, tempo_arch):
         engine = EvaluationEngine(tempo_arch, cache=EvaluationCache())
-        link_pass = next(p for p in engine.passes if isinstance(p, LinkBudgetPass))
-        fast = link_pass._critical_path(tempo_arch)
+        fast = engine._critical_path_for(tempo_arch)
         reference = tempo_arch.critical_path()
         assert fast.instances == reference.instances
         assert fast.insertion_loss_db == reference.insertion_loss_db
 
     def test_link_report_matches_seed_analyzer(self, tempo_arch):
         engine = EvaluationEngine(tempo_arch, cache=EvaluationCache())
-        link_pass = next(p for p in engine.passes if isinstance(p, LinkBudgetPass))
-        cached = link_pass._analyze(tempo_arch)
+        cached = engine.link_budget_for(tempo_arch)
         reference = engine.link_budget_analyzer.analyze(tempo_arch)
         assert cached.insertion_loss_db == reference.insertion_loss_db
         assert cached.total_laser_electrical_power_mw == reference.total_laser_electrical_power_mw

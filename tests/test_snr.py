@@ -64,6 +64,50 @@ class TestSNRBasics:
         )
 
 
+class TestEffectiveBitsEdgeCases:
+    """SNRReport behaviour at the degenerate corners the variation subsystem hits."""
+
+    def test_zero_received_power_resolves_zero_bits(self):
+        report = SNRAnalyzer().analyze_received_power(0.0, 5.0)
+        assert report.snr_linear == 0.0
+        assert report.snr_db == float("-inf")
+        assert report.effective_bits == 0.0
+        assert not report.supports_bits(1)
+
+    def test_near_zero_power_is_finite_and_non_negative(self):
+        report = SNRAnalyzer().analyze_received_power(1e-15, 5.0)
+        assert report.snr_linear > 0.0
+        assert report.effective_bits == 0.0  # floored, never negative
+        assert report.snr_db < 0.0
+
+    def test_effective_bits_never_negative(self):
+        # A sub-1.76 dB SNR would give negative ENOB; the floor clamps it.
+        for power_mw in (1e-12, 1e-9, 1e-6):
+            report = SNRAnalyzer().analyze_received_power(power_mw, 25.0)
+            assert report.effective_bits >= 0.0
+
+    def test_zero_or_negative_bandwidth_rejected(self):
+        analyzer = SNRAnalyzer()
+        with pytest.raises(ValueError, match="bandwidth"):
+            analyzer.analyze_received_power(1.0, 0.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            analyzer.analyze_received_power(1.0, -5.0)
+
+    def test_rin_dominated_regime_caps_effective_bits(self):
+        """With RIN ~ P^2 (like the signal), more power stops buying bits."""
+        noisy_laser = SNRAnalyzer(rin_db_per_hz=-130.0)
+        report = noisy_laser.analyze_received_power(10.0, 5.0)
+        assert report.rin_noise_ma2 > report.shot_noise_ma2
+        assert report.rin_noise_ma2 > report.thermal_noise_ma2
+        # The SNR plateaus at 1 / (RIN * bandwidth): a 10x power increase moves
+        # the resolvable precision by well under a bit.
+        more_power = noisy_laser.analyze_received_power(100.0, 5.0)
+        assert more_power.effective_bits - report.effective_bits < 0.2
+        # A quieter laser at the same power resolves strictly more bits.
+        quiet = SNRAnalyzer(rin_db_per_hz=-155.0).analyze_received_power(10.0, 5.0)
+        assert quiet.effective_bits > report.effective_bits
+
+
 class TestMinimumPower:
     def test_minimum_power_supports_requested_bits(self):
         analyzer = SNRAnalyzer()
