@@ -31,6 +31,12 @@ from repro.scenarios import (
     ResultStore,
     default_store_root,
 )
+from repro.scenarios.bench import (
+    DEFAULT_BENCH_PATH,
+    bench_scenarios,
+    check_speedups,
+    write_bench_report,
+)
 
 
 def _positive_int(text: str) -> int:
@@ -48,6 +54,19 @@ def _positive_int(text: str) -> int:
         ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for counts that may be zero (e.g. ``--warmup``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -158,6 +177,80 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     item.result.table,
                     echo=False,
                 )
+    return 1 if failures else 0
+
+
+def _parse_fail_below(pairs: Sequence[str]) -> Dict[str, float]:
+    thresholds: Dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(
+                f"error: --fail-below expects SCENARIO=FACTOR, got {pair!r}"
+            )
+        name, factor = pair.split("=", 1)
+        try:
+            thresholds[name] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"error: --fail-below factor must be a number, got {factor!r}"
+            ) from None
+    return thresholds
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = _select_names(args)
+    if not names:
+        print("no scenarios selected", file=sys.stderr)
+        return 1
+    compare = list(args.compare_loop or [])
+    if "all" in compare:
+        compare = list(names)
+    missing = [name for name in compare if name not in names]
+    if missing:
+        raise SystemExit(
+            f"error: --compare-loop scenario(s) not selected: {', '.join(missing)}"
+        )
+    thresholds = _parse_fail_below(args.fail_below)
+    uncompared = sorted(set(thresholds) - set(compare))
+    if uncompared:
+        raise SystemExit(
+            "error: --fail-below needs a loop comparison; add "
+            f"--compare-loop {' --compare-loop '.join(uncompared)}"
+        )
+    payload = bench_scenarios(
+        names,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        compare_loop=compare,
+        params=_parse_params(args.param),
+    )
+    rows = []
+    for name in names:
+        entry = payload["scenarios"][name]
+        vec = entry["vectorized"]
+        loop = entry.get("loop")
+        rows.append(
+            (
+                name,
+                f"{vec['median_s'] * 1e3:.1f}",
+                f"{vec['p90_s'] * 1e3:.1f}",
+                vec["engine_passes"],
+                f"{loop['median_s'] * 1e3:.1f}" if loop else "-",
+                f"{entry['speedup_median']:.2f}x" if loop else "-",
+            )
+        )
+    print(
+        format_table(
+            ["scenario", "median (ms)", "p90 (ms)", "passes", "loop median (ms)",
+             "speedup"],
+            rows,
+        )
+    )
+    target = write_bench_report(payload, args.output)
+    print(f"\nwrote {target}", file=sys.stderr)
+    failures = check_speedups(payload, thresholds)
+    for failure in failures:
+        print(f"SPEEDUP CHECK FAILED {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -279,6 +372,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run shape checks on every freshly computed scenario")
     add_store_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time scenarios (warmup + repeats) and write a BENCH_*.json report",
+    )
+    p_bench.add_argument("names", nargs="*", help="scenario names (default: all)")
+    p_bench.add_argument("--all", action="store_true", dest="all_scenarios",
+                         help="benchmark every registered scenario")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="benchmark the fast smoke-tagged subset")
+    p_bench.add_argument("--repeats", type=_positive_int, default=3, metavar="N",
+                         help="timed repeats per scenario (default: 3)")
+    p_bench.add_argument("--warmup", type=_non_negative_int, default=1, metavar="N",
+                         help="untimed warmup runs per scenario (default: 1)")
+    p_bench.add_argument("--compare-loop", action="append", default=[],
+                         metavar="SCENARIO",
+                         help="additionally time SCENARIO on the legacy "
+                              "REPRO_FORWARD=loop path and record the speedup "
+                              "(repeatable; 'all' compares every selection)")
+    p_bench.add_argument("--fail-below", action="append", default=[],
+                         metavar="SCENARIO=FACTOR",
+                         help="exit non-zero when SCENARIO's vectorized speedup "
+                              "is below FACTOR (repeatable; requires the "
+                              "scenario in --compare-loop)")
+    p_bench.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                         help="override a scenario parameter for every "
+                              "benchmarked scenario (repeatable)")
+    p_bench.add_argument("--output", default=DEFAULT_BENCH_PATH, metavar="PATH",
+                         help=f"report path (default: {DEFAULT_BENCH_PATH})")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser("report", help="inspect the persistent result store")
     p_report.add_argument("names", nargs="*",

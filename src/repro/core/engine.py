@@ -614,6 +614,7 @@ class MonteCarloAccuracyPass(EnginePass):
             return
         # Lazy import: repro.variation imports the engine for its convenience
         # entry points, so the engine only touches it when accuracy is asked for.
+        from repro.onn.layers import forward_mode
         from repro.variation.montecarlo import LinkOperatingPoint, run_monte_carlo
 
         archs = ReceiverPrecisionPass._target_archs(ctx)
@@ -648,7 +649,11 @@ class MonteCarloAccuracyPass(EnginePass):
         if not cache.enabled:
             ctx.accuracy_report = compute()
             return
-        key = fingerprint(request.fingerprint(), bits, link)
+        # The forward mode is part of the key: the legacy loop path and the
+        # trial-batched path agree to ~1e-9, not bit-for-bit, so an A/B
+        # comparison within one process must never serve one mode's memoized
+        # study to the other.
+        key = fingerprint(request.fingerprint(), bits, link, forward_mode())
         ctx.accuracy_report = cache.get_or_compute(self.name, key, compute)
 
 

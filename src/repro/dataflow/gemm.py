@@ -113,22 +113,38 @@ class GEMMWorkload:
         return np.where(self.pruning_mask, self.weight_values, 0.0)
 
     def normalized_weights(self) -> Optional[np.ndarray]:
-        """Weights scaled to [-1, 1], the native encoding range of analog devices."""
-        weights = self.effective_weights()
-        if weights is None:
+        """Weights scaled to [-1, 1], the native encoding range of analog devices.
+
+        Memoized on the workload (workloads handed to the evaluation machinery
+        are immutable -- mutate a copy between runs); the cached array is
+        marked read-only so a repeated engine pass can never corrupt it.
+        """
+        if self.weight_values is None:
             return None
-        peak = float(np.max(np.abs(weights)))
-        if peak == 0.0:
-            return np.zeros_like(weights)
-        return weights / peak
+        cached = getattr(self, "_repro_normalized_weights", None)
+        if cached is None:
+            weights = self.effective_weights()
+            peak = float(np.max(np.abs(weights)))
+            cached = np.zeros_like(weights) if peak == 0.0 else weights / peak
+            cached.setflags(write=False)
+            self._repro_normalized_weights = cached
+        return cached
 
     def normalized_inputs(self) -> Optional[np.ndarray]:
+        """Activations scaled to [-1, 1]; memoized like :meth:`normalized_weights`."""
         if self.input_values is None:
             return None
-        peak = float(np.max(np.abs(self.input_values)))
-        if peak == 0.0:
-            return np.zeros_like(self.input_values)
-        return self.input_values / peak
+        cached = getattr(self, "_repro_normalized_inputs", None)
+        if cached is None:
+            peak = float(np.max(np.abs(self.input_values)))
+            cached = (
+                np.zeros_like(self.input_values)
+                if peak == 0.0
+                else self.input_values / peak
+            )
+            cached.setflags(write=False)
+            self._repro_normalized_inputs = cached
+        return cached
 
     # -- transformations ------------------------------------------------------------------
     def with_bits(self, input_bits: int, weight_bits: int, output_bits: Optional[int] = None) -> "GEMMWorkload":

@@ -17,6 +17,7 @@ from repro.exec.backends import (
     ThreadBackend,
     available_cpus,
     default_jobs,
+    partition_indices,
     resolve_backend,
 )
 from repro.exec.telemetry import (
@@ -39,6 +40,7 @@ __all__ = [
     "ThreadBackend",
     "WorkerTelemetry",
     "available_cpus",
+    "partition_indices",
     "cache_stats_delta",
     "cache_stats_snapshot",
     "default_jobs",

@@ -62,6 +62,32 @@ def _validate_jobs(jobs: Optional[int]) -> Optional[int]:
     return jobs
 
 
+def partition_indices(count: int, parts: int) -> List[List[int]]:
+    """Split ``range(count)`` into at most ``parts`` contiguous, near-equal chunks.
+
+    A pure function of ``(count, parts)`` -- no backend or scheduling state --
+    so every execution backend shards identically-seeded work the same way
+    (the trial-batched Monte Carlo path relies on this for deterministic
+    worker assignment).  Leading chunks take the remainder: sizes differ by at
+    most one and concatenating the chunks restores ``range(count)``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if parts < 1:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if count == 0:
+        return []
+    parts = min(parts, count)
+    base, extra = divmod(count, parts)
+    chunks: List[List[int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
 class ExecutionBackend:
     """Maps a task function over a task list with deterministic result order."""
 

@@ -16,6 +16,8 @@ small, dependency-free NN substrate that produces exactly those records:
 """
 
 from repro.onn.layers import (
+    FORWARD_MODE_ENV,
+    forward_mode,
     Module,
     Sequential,
     Linear,
@@ -30,11 +32,17 @@ from repro.onn.layers import (
     LayerNorm,
 )
 from repro.onn.convert import ONNConversionConfig, convert_to_onn
-from repro.onn.quantize import quantize_uniform, quantization_error
+from repro.onn.quantize import (
+    quantize_uniform,
+    quantize_uniform_batch,
+    quantization_error,
+)
 from repro.onn.prune import magnitude_prune_mask, apply_pruning
 from repro.onn.workload import LayerWorkload, extract_workloads
 
 __all__ = [
+    "FORWARD_MODE_ENV",
+    "forward_mode",
     "Module",
     "Sequential",
     "Linear",
@@ -50,6 +58,7 @@ __all__ = [
     "ONNConversionConfig",
     "convert_to_onn",
     "quantize_uniform",
+    "quantize_uniform_batch",
     "quantization_error",
     "magnitude_prune_mask",
     "apply_pruning",

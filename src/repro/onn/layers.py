@@ -12,16 +12,56 @@ Layers implement two things:
 Shapes follow the usual conventions: images are ``(channels, height, width)`` (a
 single sample -- the paper evaluates single-image inference), token sequences are
 ``(tokens, features)``.
+
+Two execution paths exist for the hot kernels (Conv2d's im2col lowering):
+
+- the default *vectorized* path builds the patch matrix with
+  ``numpy.lib.stride_tricks.sliding_window_view`` -- a single strided copy
+  instead of an ``out_h x out_w`` Python loop -- and is bit-identical to the
+  legacy loop (both materialize the same patch bytes in the same row order);
+- ``REPRO_FORWARD=loop`` selects the legacy per-window loop, kept as the
+  reference implementation for the equivalence tests.
+
+Every layer additionally exposes :meth:`Module.forward_batch`, the
+*trial-batched* forward used by the Monte Carlo variation studies: inputs (and,
+for weighted layers, weights) carry a leading ``(trials, ...)`` axis so one
+batched numpy call replaces ``trials`` Python-level forwards.  The base-class
+fallback loops per trial with the exact serial semantics, so custom layers stay
+correct without opting in.
 """
 
 from __future__ import annotations
 
+import copy
 import math
+import os
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dataflow.gemm import GEMMWorkload
+
+#: Environment knob selecting the forward implementation: ``vectorized``
+#: (default) or ``loop`` (the legacy reference path).
+FORWARD_MODE_ENV = "REPRO_FORWARD"
+
+_FORWARD_MODES = ("vectorized", "loop")
+
+
+def forward_mode() -> str:
+    """The active forward path: ``"vectorized"`` (default) or ``"loop"``.
+
+    Read from ``$REPRO_FORWARD`` on every call so tests and benchmarks can flip
+    the path without re-importing; unknown values fail loudly rather than
+    silently timing the wrong implementation.
+    """
+    mode = os.environ.get(FORWARD_MODE_ENV, "vectorized").strip().lower()
+    if mode not in _FORWARD_MODES:
+        raise ValueError(
+            f"{FORWARD_MODE_ENV} must be one of {', '.join(_FORWARD_MODES)}, "
+            f"got {mode!r}"
+        )
+    return mode
 
 
 class Module:
@@ -39,6 +79,29 @@ class Module:
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
         """Default: no GEMM contribution; pass activations through."""
         return [], self.forward(x)
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Forward a ``(trials, ...)`` stack of inputs, one output per trial.
+
+        ``weight``, when given, is a ``(trials, *weight_shape)`` stack of
+        per-trial weights replacing the layer's own (the Monte Carlo variation
+        path).  The base implementation loops per trial with the exact serial
+        clone-and-forward semantics, so any layer is batchable; vectorizable
+        layers override this with a single numpy call.
+        """
+        x = np.asarray(x, dtype=float)
+        if weight is None:
+            return np.stack([self.forward(x[i]) for i in range(x.shape[0])])
+        outputs = []
+        for i in range(x.shape[0]):
+            clone = copy.copy(self)
+            clone.weight = weight[i]
+            if hasattr(clone, "pruning_mask"):
+                clone.pruning_mask = None
+            outputs.append(clone.forward(x[i]))
+        return np.stack(outputs)
 
     def children(self) -> Iterable["Module"]:
         return []
@@ -86,6 +149,15 @@ class Sequential(Module):
             layer_gemms, x = layer.extract_gemms(x)
             gemms.extend(layer_gemms)
         return gemms, x
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if weight is not None:
+            raise ValueError("Sequential has no weights of its own")
+        for layer in self.layers:
+            x = layer.forward_batch(x)
+        return x
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -147,6 +219,33 @@ class Linear(Module):
         if self.pruning_mask is None:
             return self.weight
         return np.where(self.pruning_mask, self.weight, 0.0)
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Batched ``y = x @ W^T + b`` with an optional per-trial weight stack.
+
+        ``x`` is ``(trials, ..., in_features)``; ``weight`` (when given) is
+        ``(trials, out_features, in_features)``.  One batched matmul replaces
+        the per-trial clone-and-forward loop.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        if weight is None:
+            # The layer's own weights broadcast over every leading axis.
+            y = x @ self.effective_weight().T
+        else:
+            w = np.asarray(weight, dtype=float)
+            if x.ndim == 2:  # one vector per trial
+                y = np.einsum("ti,toi->to", x, w)
+            else:
+                y = np.matmul(x, np.swapaxes(w, -1, -2))
+        if self.bias is not None:
+            y = y + self.bias
+        return y
 
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
         x = np.asarray(x, dtype=float)
@@ -223,6 +322,17 @@ class Conv2d(Module):
         return out_h, out_w
 
     def _im2col(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Lower ``(C, H, W)`` to the ``(out_h*out_w, C*k*k)`` patch matrix.
+
+        Dispatches on :func:`forward_mode`; both paths materialize exactly the
+        same patch bytes in the same row order, so they are bit-identical.
+        """
+        if forward_mode() == "loop":
+            return self._im2col_loop(x)
+        return self._im2col_strided(x)
+
+    def _im2col_loop(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """The legacy per-window double loop (the equivalence-test reference)."""
         channels, height, width = x.shape
         out_h, out_w = self.output_hw(height, width)
         padded = np.pad(
@@ -242,6 +352,40 @@ class Conv2d(Module):
                 idx += 1
         return cols, (out_h, out_w)
 
+    def _im2col_strided(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Stride-tricks im2col: one strided view + one copy, no Python loop.
+
+        Row ``i*out_w + j`` holds the ravel of the ``(C, k, k)`` patch at
+        window ``(i, j)`` -- the same layout the loop builds -- so downstream
+        GEMM records and forwards are bit-identical to the legacy path.
+        """
+        channels, height, width = x.shape
+        out_h, out_w = self.output_hw(height, width)
+        padded = np.pad(
+            x, ((0, 0), (self.padding, self.padding), (self.padding, self.padding))
+        )
+        k = self.kernel_size
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(1, 2))
+        windows = windows[:, :: self.stride, :: self.stride]  # (C, out_h, out_w, k, k)
+        cols = windows.transpose(1, 2, 0, 3, 4).reshape(out_h * out_w, channels * k * k)
+        return cols, (out_h, out_w)
+
+    def _im2col_batch(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """im2col over a ``(trials, C, H, W)`` stack -> ``(trials, P, C*k*k)``."""
+        trials, channels, height, width = x.shape
+        out_h, out_w = self.output_hw(height, width)
+        padded = np.pad(
+            x,
+            ((0, 0), (0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+        )
+        k = self.kernel_size
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+        windows = windows[:, :, :: self.stride, :: self.stride]
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+            trials, out_h * out_w, channels * k * k
+        )
+        return cols, (out_h, out_w)
+
     def effective_weight(self) -> np.ndarray:
         if self.pruning_mask is None:
             return self.weight
@@ -259,6 +403,36 @@ class Conv2d(Module):
         if self.bias is not None:
             out = out + self.bias
         return out.T.reshape(self.out_channels, out_h, out_w)
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Batched convolution: ``x`` is ``(trials, C, H, W)``, ``weight``
+        (when given) a ``(trials, out_c, C, k, k)`` per-trial stack."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (trials, C={self.in_channels}, H, W) "
+                f"input, got {x.shape}"
+            )
+        trials = x.shape[0]
+        if x.strides[0] == 0:
+            # All trials share one input (a broadcast stack, e.g. the first
+            # weighted layer of a Monte Carlo study): build the patch matrix
+            # once and broadcast it into the per-trial weight matmul.
+            shared_cols, (out_h, out_w) = self._im2col_strided(x[0])
+            cols = np.broadcast_to(shared_cols, (trials,) + shared_cols.shape)
+        else:
+            cols, (out_h, out_w) = self._im2col_batch(x)
+        if weight is None:
+            w2 = self.effective_weight().reshape(self.out_channels, -1)
+            out = cols @ w2.T
+        else:
+            w2 = np.asarray(weight, dtype=float).reshape(trials, self.out_channels, -1)
+            out = np.matmul(cols, np.swapaxes(w2, -1, -2))
+        if self.bias is not None:
+            out = out + self.bias
+        return out.transpose(0, 2, 1).reshape(trials, self.out_channels, out_h, out_w)
 
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
         x = np.asarray(x, dtype=float)
@@ -345,6 +519,41 @@ class MultiHeadAttention(Module):
         merged = context.transpose(1, 0, 2).reshape(tokens, self.embed_dim)
         return self.w_o(merged)
 
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Trial-batched attention over a ``(trials, tokens, embed_dim)`` stack.
+
+        All heads of all trials run through einsum-batched score/context
+        contractions -- no per-trial or per-head Python loop.  Projections use
+        the layer's own weights (attention carries no top-level ``weight``, so
+        the variation path never perturbs it directly).
+        """
+        if weight is not None:
+            raise ValueError("MultiHeadAttention has no top-level weight stack")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 2:
+            return self.forward(x)
+        if x.ndim != 3 or x.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"{self.name}: expected (trials, tokens, {self.embed_dim}) "
+                f"input, got {x.shape}"
+            )
+        trials, tokens = x.shape[0], x.shape[1]
+        q, k, v = self.w_q.forward_batch(x), self.w_k.forward_batch(x), self.w_v.forward_batch(x)
+
+        def heads(y: np.ndarray) -> np.ndarray:
+            return y.reshape(trials, tokens, self.num_heads, self.head_dim)
+
+        qh, kh, vh = heads(q), heads(k), heads(v)
+        scores = np.einsum("tqhd,tkhd->thqk", qh, kh, optimize=True) / math.sqrt(
+            self.head_dim
+        )
+        attn = self._softmax(scores)
+        context = np.einsum("thqk,tkhd->tqhd", attn, vh, optimize=True)
+        merged = context.reshape(trials, tokens, self.embed_dim)
+        return self.w_o.forward_batch(merged)
+
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
         x = np.asarray(x, dtype=float)
         tokens = x.shape[0]
@@ -354,7 +563,11 @@ class MultiHeadAttention(Module):
             gemms.extend(proj_gemms)
         q, k, v = self.w_q(x), self.w_k(x), self.w_v(x)
         qh, kh, vh = self._heads(q), self._heads(k), self._heads(v)
-        # Dynamic attention matmuls (one GEMM per head, operands both data dependent).
+        # Dynamic attention matmuls (one GEMM record per head, operands both
+        # data dependent).  The scores/attention tensors are computed once,
+        # batched over heads, and sliced into the per-head records.
+        scores = qh @ kh.transpose(0, 2, 1) / math.sqrt(self.head_dim)
+        attn = self._softmax(scores)
         for head in range(self.num_heads):
             gemms.append(
                 GEMMWorkload(
@@ -371,8 +584,6 @@ class MultiHeadAttention(Module):
                     weight_static=False,
                 )
             )
-        scores = qh @ kh.transpose(0, 2, 1) / math.sqrt(self.head_dim)
-        attn = self._softmax(scores)
         for head in range(self.num_heads):
             gemms.append(
                 GEMMWorkload(
@@ -395,12 +606,23 @@ class MultiHeadAttention(Module):
         return gemms, out
 
 
-class ReLU(Module):
+class _ElementwiseModule(Module):
+    """A layer whose forward is shape-agnostic: batching is the same call."""
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if weight is not None:
+            raise ValueError(f"{type(self).__name__} takes no weight stack")
+        return self.forward(x)
+
+
+class ReLU(_ElementwiseModule):
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.maximum(np.asarray(x, dtype=float), 0.0)
 
 
-class GELU(Module):
+class GELU(_ElementwiseModule):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         return 0.5 * x * (1.0 + np.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
@@ -409,6 +631,14 @@ class GELU(Module):
 class Flatten(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(x, dtype=float).ravel()
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if weight is not None:
+            raise ValueError("Flatten takes no weight stack")
+        x = np.asarray(x, dtype=float)
+        return x.reshape(x.shape[0], -1)
 
 
 class MaxPool2d(Module):
@@ -420,25 +650,31 @@ class MaxPool2d(Module):
             raise ValueError("kernel_size must be positive")
         self.kernel_size = kernel_size
 
+    @staticmethod
+    def _windowed(x: np.ndarray, k: int) -> np.ndarray:
+        """Reshape trailing ``(H, W)`` into ``(out_h, k, out_w, k)`` windows."""
+        *lead, height, width = x.shape
+        out_h, out_w = height // k, width // k
+        trimmed = x[..., : out_h * k, : out_w * k]
+        return trimmed.reshape(*lead, out_h, k, out_w, k)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        channels, height, width = x.shape
-        k = self.kernel_size
-        out_h, out_w = height // k, width // k
-        trimmed = x[:, : out_h * k, : out_w * k]
-        reshaped = trimmed.reshape(channels, out_h, k, out_w, k)
-        return reshaped.max(axis=(2, 4))
+        return self._windowed(x, self.kernel_size).max(axis=(-3, -1))
+
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if weight is not None:
+            raise ValueError(f"{type(self).__name__} takes no weight stack")
+        # The window reduction already operates on the trailing axes only.
+        return self.forward(x)
 
 
 class AvgPool2d(MaxPool2d):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        channels, height, width = x.shape
-        k = self.kernel_size
-        out_h, out_w = height // k, width // k
-        trimmed = x[:, : out_h * k, : out_w * k]
-        reshaped = trimmed.reshape(channels, out_h, k, out_w, k)
-        return reshaped.mean(axis=(2, 4))
+        return self._windowed(x, self.kernel_size).mean(axis=(-3, -1))
 
 
 class BatchNorm2d(Module):
@@ -456,8 +692,21 @@ class BatchNorm2d(Module):
             raise ValueError(f"{self.name}: expected {self.num_channels} channels")
         return x * self.scale[:, None, None] + self.shift[:, None, None]
 
+    def forward_batch(
+        self, x: np.ndarray, weight: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if weight is not None:
+            raise ValueError("BatchNorm2d takes no weight stack")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"{self.name}: expected (trials, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        return x * self.scale[:, None, None] + self.shift[:, None, None]
 
-class LayerNorm(Module):
+
+class LayerNorm(_ElementwiseModule):
     """Layer normalization over the last dimension."""
 
     def __init__(self, normalized_dim: int, eps: float = 1e-5, name: str = "") -> None:

@@ -46,6 +46,57 @@ def quantize_uniform(
     return np.round((values - low) / scale) * scale + low
 
 
+def quantize_uniform_batch(
+    values: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Per-slice :func:`quantize_uniform` over a leading ``(trials, ...)`` axis.
+
+    Each slice ``values[i]`` gets its own grid (per-trial peak / range), exactly
+    as if :func:`quantize_uniform` were called per trial -- the scale is a
+    per-trial scalar broadcast over the slice, so the result is bit-identical
+    to the per-trial loop -- but the rounding and rescaling run as one batched
+    numpy call.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values.copy()
+    if values.ndim < 2:
+        # A (trials,) stack of scalars: each slice still gets its own grid.
+        return quantize_uniform_batch(
+            values.reshape(-1, 1), bits, symmetric=symmetric
+        ).reshape(values.shape)
+    reduce_axes = tuple(range(1, values.ndim))
+    if symmetric:
+        # max(|v|) as max(max(v), -min(v)): two reductions, no |v| temporary
+        # (bit-identical -- |v| is exactly v or -v for every float).
+        peak = np.maximum(
+            values.max(axis=reduce_axes, keepdims=True),
+            -values.min(axis=reduce_axes, keepdims=True),
+        )
+        levels = max(2 ** (bits - 1) - 1, 1)
+        scale = peak / levels
+        safe = np.where(scale == 0.0, 1.0, scale)
+        # In-place round/rescale: one output allocation instead of three
+        # temporaries (these stacks are the batched path's largest tensors).
+        out = np.divide(values, safe, out=np.empty_like(values, dtype=float))
+        np.round(out, out=out)
+        out *= safe
+        if np.any(peak == 0.0):
+            out[np.broadcast_to(peak == 0.0, out.shape)] = 0.0
+        return out
+    low = values.min(axis=reduce_axes, keepdims=True)
+    high = values.max(axis=reduce_axes, keepdims=True)
+    levels = 2**bits - 1
+    span = high - low
+    safe = np.where(span == 0.0, 1.0, span) / levels
+    out = np.round((values - low) / safe) * safe + low
+    return np.where(span == 0.0, low + np.zeros_like(values), out)
+
+
 def receiver_limited_bits(nominal_bits: int, effective_bits: Optional[float]) -> int:
     """DAC/ADC resolution the optical link can actually deliver.
 

@@ -1,0 +1,242 @@
+"""Machine-readable performance benchmarking of registered scenarios.
+
+``repro bench`` times scenarios from the registry -- warmup runs followed by
+timed repeats, each against a fresh private :class:`EvaluationCache` and no
+result store, so every repeat measures real engine work -- and writes a
+versioned JSON report (``BENCH_PR5.json`` by default) seeding the repo's
+performance trajectory: one file per PR, diffable across hosts and commits.
+
+A scenario can additionally be timed on the legacy ``REPRO_FORWARD=loop``
+path (``compare_loop``), which records both timings plus the median speedup of
+the default vectorized path -- the regression gate CI's perf-smoke job checks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.cache import EvaluationCache
+from repro.core.engine import observe_passes
+from repro.exec.backends import available_cpus
+from repro.onn.layers import FORWARD_MODE_ENV, forward_mode
+from repro.scenarios.registry import REGISTRY
+
+#: Schema tag embedded in every report, bumped on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default output path -- the repo-root perf-trajectory artifact of this PR.
+DEFAULT_BENCH_PATH = "BENCH_PR5.json"
+
+
+def _percentile(sorted_times: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sample (stable for tiny N)."""
+    if not sorted_times:
+        raise ValueError("no samples")
+    rank = max(0, min(len(sorted_times) - 1, int(round(fraction * (len(sorted_times) - 1)))))
+    return sorted_times[rank]
+
+
+@dataclass
+class BenchTiming:
+    """Timed repeats of one scenario on one forward mode."""
+
+    mode: str
+    repeats: int
+    warmup: int
+    times_s: List[float] = field(default_factory=list)
+    median_s: float = 0.0
+    p90_s: float = 0.0
+    min_s: float = 0.0
+    mean_s: float = 0.0
+    engine_passes: int = 0
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_times(
+        cls,
+        mode: str,
+        warmup: int,
+        times_s: Sequence[float],
+        engine_passes: int,
+        cache_stats: Mapping[str, Mapping[str, float]],
+    ) -> "BenchTiming":
+        ordered = sorted(times_s)
+        return cls(
+            mode=mode,
+            repeats=len(ordered),
+            warmup=warmup,
+            times_s=[float(t) for t in times_s],
+            median_s=_percentile(ordered, 0.5),
+            p90_s=_percentile(ordered, 0.9),
+            min_s=ordered[0],
+            mean_s=float(sum(ordered) / len(ordered)),
+            engine_passes=int(engine_passes),
+            cache_stats={k: dict(v) for k, v in cache_stats.items()},
+        )
+
+
+@contextlib.contextmanager
+def _forced_forward_mode(mode: Optional[str]) -> Iterator[None]:
+    """Pin ``$REPRO_FORWARD`` for the duration of the block (None = leave as is)."""
+    if mode is None:
+        yield
+        return
+    previous = os.environ.get(FORWARD_MODE_ENV)
+    os.environ[FORWARD_MODE_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FORWARD_MODE_ENV, None)
+        else:
+            os.environ[FORWARD_MODE_ENV] = previous
+
+
+def time_scenario(
+    name: str,
+    repeats: int = 3,
+    warmup: int = 1,
+    params: Optional[Mapping[str, Any]] = None,
+    mode: Optional[str] = None,
+) -> BenchTiming:
+    """Time ``repeats`` fresh runs of one scenario (after ``warmup`` discards).
+
+    Every run gets a private evaluation cache and bypasses the result store,
+    so the wall-clock covers the scenario's real engine passes; the pass count
+    and the final run's per-stage cache hit rates are recorded alongside the
+    timings (scenarios with internal sweeps legitimately hit their own cache).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    times: List[float] = []
+    passes = 0
+    stats: Dict[str, Dict[str, float]] = {}
+    with _forced_forward_mode(mode):
+        resolved_mode = forward_mode()
+        for round_index in range(warmup + repeats):
+            cache = EvaluationCache()
+            pass_count = 0
+
+            def count(stage: str, engine: object) -> None:
+                nonlocal pass_count
+                if getattr(engine, "cache", None) is cache:
+                    pass_count += 1
+
+            with observe_passes(count):
+                start = time.perf_counter()
+                REGISTRY.run(name, params=params, cache=cache, store=None, force=True)
+                elapsed = time.perf_counter() - start
+            if round_index >= warmup:
+                times.append(elapsed)
+                passes = pass_count
+                stats = {
+                    stage: {
+                        "hits": stat.hits,
+                        "misses": stat.misses,
+                        "hit_rate": stat.hit_rate,
+                    }
+                    for stage, stat in cache.stats.items()
+                }
+    return BenchTiming.from_times(resolved_mode, warmup, times, passes, stats)
+
+
+def bench_scenarios(
+    names: Sequence[str],
+    repeats: int = 3,
+    warmup: int = 1,
+    compare_loop: Sequence[str] = (),
+    params: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Benchmark ``names`` and return the JSON-ready report payload.
+
+    Scenarios listed in ``compare_loop`` are additionally timed on the legacy
+    ``REPRO_FORWARD=loop`` path; their entries gain a ``loop`` timing block and
+    ``speedup_median`` (loop median / vectorized median -- > 1 means the
+    vectorized default is faster).
+    """
+    unknown = [n for n in compare_loop if n not in names]
+    if unknown:
+        raise ValueError(
+            f"compare-loop scenarios not in the benchmark selection: {unknown}"
+        )
+    scenarios: Dict[str, Any] = {}
+    for name in names:
+        vectorized = time_scenario(
+            name, repeats=repeats, warmup=warmup, params=params, mode="vectorized"
+        )
+        entry: Dict[str, Any] = {"vectorized": asdict(vectorized)}
+        if name in compare_loop:
+            loop = time_scenario(
+                name, repeats=repeats, warmup=warmup, params=params, mode="loop"
+            )
+            entry["loop"] = asdict(loop)
+            entry["speedup_median"] = (
+                loop.median_s / vectorized.median_s if vectorized.median_s > 0 else 0.0
+            )
+        scenarios[name] = entry
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpus": available_cpus(),
+        },
+        "settings": {
+            "repeats": repeats,
+            "warmup": warmup,
+            "params": dict(params or {}),
+            "forward_env": FORWARD_MODE_ENV,
+        },
+        "scenarios": scenarios,
+    }
+
+
+def write_bench_report(
+    payload: Mapping[str, Any], path: Union[str, Path] = DEFAULT_BENCH_PATH
+) -> Path:
+    """Write the report as stable, diff-friendly JSON and return its path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def check_speedups(
+    payload: Mapping[str, Any], thresholds: Mapping[str, float]
+) -> List[str]:
+    """Validate recorded speedups against per-scenario minimum factors.
+
+    Returns human-readable violation messages (empty = all thresholds met).
+    Scenarios without a recorded comparison fail loudly -- a gate against a
+    missing ``compare_loop`` selection silently passing CI.
+    """
+    failures = []
+    for name, minimum in thresholds.items():
+        entry = payload.get("scenarios", {}).get(name)
+        if entry is None:
+            failures.append(f"{name}: not benchmarked")
+            continue
+        speedup = entry.get("speedup_median")
+        if speedup is None:
+            failures.append(f"{name}: no loop-path comparison recorded")
+        elif speedup < minimum:
+            failures.append(
+                f"{name}: vectorized speedup {speedup:.2f}x below the "
+                f"required {minimum:.2f}x"
+            )
+    return failures

@@ -24,9 +24,12 @@ from repro.variation.accuracy import (
     AccuracyReport,
     TrialResult,
     classification_agreement,
+    classification_agreement_batch,
     model_fingerprint,
     noisy_forward,
+    noisy_forward_batch,
     output_rmse,
+    output_rmse_batch,
     reference_forward,
 )
 from repro.variation.models import (
@@ -60,10 +63,13 @@ __all__ = [
     "VariationModel",
     "WeightEncodingError",
     "classification_agreement",
+    "classification_agreement_batch",
     "evaluate_accuracy",
     "model_fingerprint",
     "noisy_forward",
+    "noisy_forward_batch",
     "output_rmse",
+    "output_rmse_batch",
     "reference_forward",
     "run_monte_carlo",
     "standard_noise",

@@ -20,13 +20,17 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cache import digest, memoized_fingerprint
 from repro.onn.layers import Module, Sequential
-from repro.onn.quantize import quantize_uniform, receiver_limited_bits
+from repro.onn.quantize import (
+    quantize_uniform,
+    quantize_uniform_batch,
+    receiver_limited_bits,
+)
 from repro.variation.models import IDEAL, NoiseSpec
 
 #: RNG used for noise-free reference passes (an empty spec draws nothing).
@@ -118,6 +122,139 @@ def noisy_forward(
     return x
 
 
+def _weighted_layer_sizes(model: Module) -> List[int]:
+    """Weight element counts of the layers the noisy forward perturbs, in order."""
+    sizes = []
+    for layer in _forward_layers(model):
+        weight = getattr(layer, "weight", None)
+        if weight is not None:
+            sizes.append(int(np.asarray(weight).size))
+    return sizes
+
+
+def _fused_draws(
+    spec: NoiseSpec,
+    rngs: Sequence[np.random.Generator],
+    sizes: Sequence[int],
+) -> Optional[List[np.ndarray]]:
+    """Pre-draw every trial's weight noise as one standard-normal block.
+
+    One ``standard_normal(total)`` call per trial replaces one ``normal`` call
+    per (trial, layer, stochastic model); the block is sliced back per layer
+    in draw order, so each trial's stream is consumed bit-identically to the
+    sequential path.  Returns ``None`` when the spec's draw layout is unknown
+    (custom models) or there is nothing to draw.
+    """
+    if not spec.supports_fused_sampling():
+        return None
+    counts = [spec.weight_draw_count(size) for size in sizes]
+    total = sum(counts)
+    if total == 0:
+        return None
+    z = np.empty((len(rngs), total))
+    for row, rng in enumerate(rngs):
+        rng.standard_normal(out=z[row])
+    blocks: List[np.ndarray] = []
+    offset = 0
+    for count in counts:
+        blocks.append(z[:, offset : offset + count])
+        offset += count
+    return blocks
+
+
+def _forward_trial_group(
+    model: Module,
+    x: np.ndarray,
+    spec: NoiseSpec,
+    rngs: Sequence[np.random.Generator],
+    in_bits: int,
+    w_bits: int,
+    out_bits: int,
+) -> np.ndarray:
+    """One batched noisy forward for trials sharing resolved DAC/ADC bits."""
+    xq = quantize_uniform(x, in_bits)
+    batch = np.broadcast_to(xq, (len(rngs),) + xq.shape)
+    fused = _fused_draws(spec, rngs, _weighted_layer_sizes(model))
+    weighted_index = 0
+    for layer in _forward_layers(model):
+        weight = getattr(layer, "weight", None)
+        if weight is None:
+            batch = layer.forward_batch(batch)
+            continue
+        base = layer.effective_weight() if hasattr(layer, "effective_weight") else weight
+        if fused is not None:
+            stacked = np.broadcast_to(base, (len(rngs),) + base.shape)
+            perturbed = spec.apply_weight_noise(stacked, fused[weighted_index])
+        else:
+            perturbed = spec.perturb_weights_batch(base, rngs)
+        weighted_index += 1
+        mask = getattr(layer, "pruning_mask", None)
+        if mask is not None:
+            # Pruned devices are powered off: they stay exactly zero under noise.
+            perturbed = np.where(mask, perturbed, 0.0)
+        perturbed = quantize_uniform_batch(perturbed, w_bits)
+        batch = layer.forward_batch(batch, weight=perturbed)
+        batch = spec.perturb_activations_batch(batch, rngs)
+        batch = quantize_uniform_batch(batch, out_bits)
+    return np.asarray(batch, dtype=float)
+
+
+def noisy_forward_batch(
+    model: Module,
+    x: np.ndarray,
+    spec: NoiseSpec,
+    rngs: Sequence[np.random.Generator],
+    input_bits: int = 8,
+    weight_bits: int = 8,
+    output_bits: int = 8,
+    effective_bits: Optional[Sequence[Optional[float]]] = None,
+) -> np.ndarray:
+    """Trial-batched :func:`noisy_forward`: one stacked forward per layer.
+
+    ``rngs[i]`` is trial ``i``'s random stream (typically
+    :func:`~repro.variation.sampler.trial_rng`), consumed in exactly the order
+    the serial path would: per weighted layer, in layer order.  A caller that
+    draws the per-trial link loss first (as :func:`run_monte_carlo` does) keeps
+    the streams bit-identical to the per-trial loop.
+
+    ``effective_bits`` gives each trial's link-limited resolution; trials are
+    grouped by their *resolved* ``(input, weight, output)`` bit tuple -- the
+    quantization grids are integers, so drifted trials collapse into a handful
+    of groups -- and each group runs one batched forward.  Returns a
+    ``(len(rngs), *output_shape)`` stack, in trial order.
+    """
+    trials = len(rngs)
+    if trials < 1:
+        raise ValueError("noisy_forward_batch needs at least one trial RNG")
+    x = np.asarray(x, dtype=float)
+    if effective_bits is None:
+        effective = [None] * trials
+    else:
+        effective = list(effective_bits)
+        if len(effective) != trials:
+            raise ValueError(
+                f"effective_bits has {len(effective)} entries for {trials} trials"
+            )
+    groups: Dict[Tuple[int, int, int], List[int]] = {}
+    for idx, eff in enumerate(effective):
+        resolved = (
+            receiver_limited_bits(input_bits, eff),
+            receiver_limited_bits(weight_bits, eff),
+            receiver_limited_bits(output_bits, eff),
+        )
+        groups.setdefault(resolved, []).append(idx)
+    outputs: Optional[np.ndarray] = None
+    for (in_bits, w_bits, out_bits), indices in groups.items():
+        group = _forward_trial_group(
+            model, x, spec, [rngs[i] for i in indices], in_bits, w_bits, out_bits
+        )
+        if outputs is None:
+            outputs = np.empty((trials,) + group.shape[1:], dtype=float)
+        outputs[indices] = group
+    assert outputs is not None
+    return outputs
+
+
 def reference_forward(
     model: Module,
     x: np.ndarray,
@@ -154,6 +291,36 @@ def output_rmse(outputs: np.ndarray, reference: np.ndarray) -> float:
     outputs = np.asarray(outputs, dtype=float)
     reference = np.asarray(reference, dtype=float)
     return float(np.sqrt(np.mean((outputs - reference) ** 2)))
+
+
+def classification_agreement_batch(
+    outputs: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Per-trial :func:`classification_agreement` over a ``(trials, ...)`` stack.
+
+    One batched argmax/compare replaces the per-trial metric loop; each trial's
+    value is the same sample count ratio the scalar function returns.
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if outputs.shape[1:] != reference.shape:
+        raise ValueError(
+            f"output shape {outputs.shape[1:]} does not match reference "
+            f"{reference.shape}"
+        )
+    trials = outputs.shape[0]
+    reference = np.atleast_2d(reference)
+    stacked = outputs.reshape((trials,) + reference.shape)
+    matches = stacked.argmax(axis=-1) == reference.argmax(axis=-1)
+    return matches.mean(axis=-1)
+
+
+def output_rmse_batch(outputs: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Per-trial :func:`output_rmse` over a ``(trials, ...)`` stack."""
+    outputs = np.asarray(outputs, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    deltas = (outputs - reference) ** 2
+    return np.sqrt(deltas.mean(axis=tuple(range(1, deltas.ndim))))
 
 
 @dataclass(frozen=True)

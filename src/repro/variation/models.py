@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,52 @@ class VariationModel:
 
     def perturb_activations(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         return x
+
+    def perturb_weights_batch(
+        self, weights: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Perturb a ``(trials, *shape)`` weight stack, one RNG per trial.
+
+        Trial ``i``'s perturbation draws exclusively from ``rngs[i]`` in the
+        same order as :meth:`perturb_weights` would -- the batched path
+        consumes each per-trial stream bit-identically to the serial loop.
+        The base implementation applies the serial method per slice (so any
+        custom model is batch-safe); stochastic built-ins override it with one
+        vectorized arithmetic pass over the stacked draws.
+        """
+        slices = [weights[i] for i in range(len(rngs))]
+        outs = [self.perturb_weights(s, rng) for s, rng in zip(slices, rngs)]
+        if all(out is s for out, s in zip(outs, slices)):
+            return weights  # no-op model: keep the (possibly broadcast) stack
+        return np.stack(outs)
+
+    def perturb_activations_batch(
+        self, x: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Perturb a ``(trials, ...)`` activation stack, one RNG per trial."""
+        slices = [x[i] for i in range(len(rngs))]
+        outs = [self.perturb_activations(s, rng) for s, rng in zip(slices, rngs)]
+        if all(out is s for out, s in zip(outs, slices)):
+            return x
+        return np.stack(outs)
+
+    def weight_draw_count(self, size: int) -> int:
+        """Standard-normal draws :meth:`perturb_weights` consumes for ``size``
+        weight elements (0 for deterministic models).  Only consulted on the
+        fused-sampling fast path, which is restricted to the built-in model
+        types -- custom subclasses always take the per-model batch path."""
+        return 0
+
+    def apply_weight_noise(self, weights: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Apply this model's perturbation given pre-drawn standard normals.
+
+        ``weights`` is a ``(trials, *shape)`` stack and ``z`` a ``(trials,
+        weight_draw_count)`` slice of each trial's fused standard-normal block;
+        the arithmetic must reproduce :meth:`perturb_weights` bit for bit
+        (``rng.normal(0, sigma, n)`` equals ``sigma * standard_normal(n)`` on
+        the same stream position).
+        """
+        return weights
 
     def static_loss_db(self) -> float:
         """Deterministic extra insertion loss (dB) this model adds to the link."""
@@ -85,6 +131,26 @@ class WeightEncodingError(VariationModel):
             return weights * (1.0 + noise)
         return weights + noise
 
+    def perturb_weights_batch(
+        self, weights: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        # Per-trial draws from each trial's own stream (the seed contract),
+        # applied in one vectorized pass over the stack.
+        shape = weights.shape[1:]
+        noise = np.stack([rng.normal(0.0, self.sigma, size=shape) for rng in rngs])
+        if self.relative:
+            return weights * (1.0 + noise)
+        return weights + noise
+
+    def weight_draw_count(self, size: int) -> int:
+        return size
+
+    def apply_weight_noise(self, weights: np.ndarray, z: np.ndarray) -> np.ndarray:
+        noise = self.sigma * z.reshape(weights.shape)
+        if self.relative:
+            return weights * (1.0 + noise)
+        return weights + noise
+
     def scaled(self, factor: float) -> "WeightEncodingError":
         return dataclasses.replace(self, sigma=self.sigma * factor)
 
@@ -106,6 +172,19 @@ class PhaseError(VariationModel):
     def perturb_weights(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         dphi = rng.normal(0.0, self.sigma_rad, size=weights.shape)
         return weights * np.cos(dphi)
+
+    def perturb_weights_batch(
+        self, weights: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        shape = weights.shape[1:]
+        dphi = np.stack([rng.normal(0.0, self.sigma_rad, size=shape) for rng in rngs])
+        return weights * np.cos(dphi)
+
+    def weight_draw_count(self, size: int) -> int:
+        return size
+
+    def apply_weight_noise(self, weights: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return weights * np.cos(self.sigma_rad * z.reshape(weights.shape))
 
     def scaled(self, factor: float) -> "PhaseError":
         return dataclasses.replace(self, sigma_rad=self.sigma_rad * factor)
@@ -140,6 +219,25 @@ class Crosstalk(VariationModel):
         lanes = x.shape[-1]
         leak = (x.sum(axis=-1, keepdims=True) - x) / (lanes - 1)
         return (1.0 - self.coupling) * x + self.coupling * leak
+
+    def perturb_activations_batch(
+        self, x: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        # Deterministic and defined on the last axis, so the serial formula is
+        # batch-shape-agnostic; this spelling reuses buffers (the stacks are
+        # the batched path's biggest tensors) while staying bit-identical:
+        # every elementwise op matches the serial expression term for term
+        # (float addition is commutative, so summing c*leak into (1-c)*x
+        # equals the serial (1-c)*x + c*leak).
+        if self.coupling == 0.0 or x.ndim == 0 or x.shape[-1] < 2:
+            return x
+        lanes = x.shape[-1]
+        leak = np.subtract(x.sum(axis=-1, keepdims=True), x)
+        leak /= lanes - 1
+        leak *= self.coupling
+        out = np.multiply(x, 1.0 - self.coupling)
+        out += leak
+        return out
 
     def scaled(self, factor: float) -> "Crosstalk":
         return dataclasses.replace(self, coupling=min(1.0, self.coupling * factor))
@@ -205,6 +303,69 @@ class NoiseSpec:
             x = model.perturb_activations(x, rng)
         return x
 
+    def perturb_weights_batch(
+        self, weights: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """One perturbed weight stack per trial: ``(len(rngs), *weights.shape)``.
+
+        ``weights`` is the *unstacked* base tensor; each model's vectorized
+        batch path runs once over the whole stack, drawing trial ``i``'s noise
+        from ``rngs[i]`` in model order -- exactly the stream
+        :meth:`perturb_weights` would consume trial by trial.  Models that
+        inherit the base (identity) weight hook are skipped outright: they
+        consume no stream and touch no weights, so there is nothing to batch.
+        """
+        stacked = np.broadcast_to(weights, (len(rngs),) + weights.shape)
+        for model in self.models:
+            if type(model).perturb_weights is VariationModel.perturb_weights:
+                continue
+            stacked = model.perturb_weights_batch(stacked, rngs)
+        return stacked
+
+    def perturb_activations_batch(
+        self, x: np.ndarray, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Perturb a ``(trials, ...)`` activation stack, one RNG per trial."""
+        for model in self.models:
+            if type(model).perturb_activations is VariationModel.perturb_activations:
+                continue
+            x = model.perturb_activations_batch(x, rngs)
+        return x
+
+    # -- fused sampling ----------------------------------------------------------------
+    def supports_fused_sampling(self) -> bool:
+        """Whether every model's per-trial draw layout is statically known.
+
+        Restricted to the *exact* built-in model types: a subclass may
+        override :meth:`VariationModel.perturb_weights` without declaring its
+        draw count, and silently mispositioning its stream would corrupt the
+        per-trial seed contract -- unknown types always take the per-model
+        batch path instead.
+        """
+        return all(type(model) in _FUSED_DRAW_TYPES for model in self.models)
+
+    def weight_draw_count(self, size: int) -> int:
+        """Standard-normal draws one trial's weight perturbation consumes."""
+        return sum(model.weight_draw_count(size) for model in self.models)
+
+    def apply_weight_noise(self, weights: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Apply every model's weight perturbation from a fused draw block.
+
+        ``weights`` is a ``(trials, *shape)`` stack and ``z`` holds each
+        trial's pre-drawn standard normals for this layer, consumed in model
+        order -- the same stream positions :meth:`perturb_weights` would use,
+        so results are bit-identical to the sequential path.
+        """
+        size = int(np.prod(weights.shape[1:], dtype=int))
+        offset = 0
+        for model in self.models:
+            count = model.weight_draw_count(size)
+            if count:
+                weights = model.apply_weight_noise(weights, z[:, offset : offset + count])
+                offset += count
+            # Zero-draw built-ins leave weights untouched by construction.
+        return weights
+
     def static_loss_db(self) -> float:
         """Deterministic link penalty: what the *nominal* receiver already pays."""
         return sum(model.static_loss_db() for model in self.models)
@@ -222,6 +383,16 @@ class NoiseSpec:
     def __bool__(self) -> bool:
         return bool(self.models)
 
+
+#: Model types whose per-trial stream consumption is statically known, making
+#: them eligible for fused sampling (one standard-normal block per trial).
+_FUSED_DRAW_TYPES = (
+    VariationModel,
+    WeightEncodingError,
+    PhaseError,
+    Crosstalk,
+    LinkLossDrift,
+)
 
 #: The no-noise spec (useful as the clean hardware reference).
 IDEAL = NoiseSpec()

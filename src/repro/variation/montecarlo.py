@@ -19,26 +19,35 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.cache import digest
+from repro.core.cache import digest, memoized_fingerprint
 from repro.core.snr import SNRAnalyzer, SNRReport
-from repro.exec import resolve_backend
-from repro.onn.layers import Module
+from repro.exec import partition_indices, resolve_backend
+from repro.onn.layers import Module, forward_mode
 from repro.variation.accuracy import (
     AccuracyReport,
     TrialResult,
     aggregate_trials,
     classification_agreement,
+    classification_agreement_batch,
     model_fingerprint,
     noisy_forward,
+    noisy_forward_batch,
     output_rmse,
+    output_rmse_batch,
     reference_forward,
 )
 from repro.variation.models import NoiseSpec
 from repro.variation.sampler import trial_rng
+
+
+#: Upper bound on trials per batched chunk: large enough to amortize the
+#: per-chunk Python overhead, small enough that a chunk's stacked activations
+#: (trials x samples x features doubles) stay within typical L2 working sets.
+_TRIAL_CHUNK_CAP = 64
 
 
 @dataclass(frozen=True)
@@ -104,15 +113,24 @@ class AccuracyRequest:
         object.__setattr__(self, "inputs", np.asarray(self.inputs, dtype=float))
 
     def fingerprint(self) -> str:
-        """Content address of the study (model + inputs + noise + trials + seed)."""
-        return digest(
-            "accuracy-request",
-            model_fingerprint(self.model),
-            self.inputs,
-            self.noise,
-            self.trials,
-            self.seed,
-            self.reference,
+        """Content address of the study (model + inputs + noise + trials + seed).
+
+        Memoized on the request instance: the model digest is itself cached per
+        model object, and hashing the inputs tensor once per request (instead
+        of once per engine pass) keeps repeated evaluations off the hashing
+        hot path.  Requests are treated as immutable once handed out.
+        """
+        return memoized_fingerprint(
+            self,
+            lambda: digest(
+                "accuracy-request",
+                model_fingerprint(self.model),
+                self.inputs,
+                self.noise,
+                self.trials,
+                self.seed,
+                self.reference,
+            ),
         )
 
 
@@ -156,6 +174,54 @@ def _run_trial(shared: _TrialContext, trial: int) -> TrialResult:
         effective_bits=float(effective_bits),
         extra_loss_db=float(extra_loss_db),
     )
+
+
+def _run_trial_chunk(shared: _TrialContext, trials: List[int]) -> List[TrialResult]:
+    """A contiguous chunk of trials as one batched forward.
+
+    Each trial's RNG is rebuilt from ``(seed, trial index)`` and consumed in
+    the serial order (link loss first, then per-layer weight noise), so the
+    per-trial random draws are bit-identical to :func:`_run_trial` no matter
+    how the trial axis was chunked.  The forwards themselves run stacked --
+    one batched numpy pass per layer per resolved-bits group instead of
+    ``len(trials)`` full model clones.
+    """
+    rngs = [trial_rng(shared.seed, trial) for trial in trials]
+    losses = [shared.spec.sample_loss_db(rng) for rng in rngs]
+    if shared.link is not None:
+        # Distinct loss values map to distinct SNR evaluations; drift-free
+        # specs collapse every trial onto one memoized receiver computation.
+        by_loss: dict = {}
+        effective = []
+        for loss in losses:
+            bits = by_loss.get(loss)
+            if bits is None:
+                bits = by_loss[loss] = shared.link.effective_bits(loss)
+            effective.append(bits)
+    else:
+        effective = [math.inf] * len(trials)
+    outputs = noisy_forward_batch(
+        shared.model,
+        shared.inputs,
+        shared.spec,
+        rngs,
+        input_bits=shared.input_bits,
+        weight_bits=shared.weight_bits,
+        output_bits=shared.output_bits,
+        effective_bits=effective,
+    )
+    accuracies = classification_agreement_batch(outputs, shared.reference)
+    rmses = output_rmse_batch(outputs, shared.reference)
+    return [
+        TrialResult(
+            trial=trial,
+            accuracy=float(accuracies[i]),
+            rmse=float(rmses[i]),
+            effective_bits=float(effective[i]),
+            extra_loss_db=float(losses[i]),
+        )
+        for i, trial in enumerate(trials)
+    ]
 
 
 def run_monte_carlo(
@@ -206,8 +272,23 @@ def run_monte_carlo(
         link=link,
     )
     backend = resolve_backend(request.backend, request.jobs)
-    with backend.session():
-        results = backend.map_tasks(_run_trial, list(range(request.trials)), shared=shared)
+    if forward_mode() == "loop":
+        # Legacy reference path: one task per trial, full model clone each.
+        with backend.session():
+            results = backend.map_tasks(
+                _run_trial, list(range(request.trials)), shared=shared
+            )
+    else:
+        # Trial-batched path: shard the trial axis into contiguous chunks, one
+        # per worker but capped at _TRIAL_CHUNK_CAP trials so the stacked
+        # per-layer temporaries stay cache-resident.  The partition is a pure
+        # function of (trials, jobs), so serial, thread and process runs batch
+        # identically; per-trial seeds make results chunking-invariant anyway.
+        parts = max(backend.jobs, math.ceil(request.trials / _TRIAL_CHUNK_CAP))
+        chunks = partition_indices(request.trials, parts)
+        with backend.session():
+            nested = backend.map_tasks(_run_trial_chunk, chunks, shared=shared)
+        results = [result for chunk_results in nested for result in chunk_results]
     return aggregate_trials(
         tuple(results),
         seed=request.seed,

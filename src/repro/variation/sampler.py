@@ -15,7 +15,7 @@ by the trial index directly has no such ordering dependence.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -27,9 +27,27 @@ def trial_seed_sequence(base_seed: int, trial: int) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(trial),))
 
 
+#: Memoized PCG64 start states: the state is a pure function of (seed, trial),
+#: and hashing a SeedSequence into a bit-generator state costs more than
+#: restoring it, so studies that revisit the same trial seeds (e.g. a noise
+#: sweep at fixed scenario seed) skip the re-derivation.  Bounded; once full,
+#: new keys are derived fresh (never evicted mid-run -- determinism over reuse).
+_STATE_CACHE: Dict[Tuple[int, int], dict] = {}
+_STATE_CACHE_MAX = 65536
+
+
 def trial_rng(base_seed: int, trial: int) -> np.random.Generator:
     """A fresh generator for one trial, identical no matter where it is built."""
-    return np.random.default_rng(trial_seed_sequence(base_seed, trial))
+    key = (int(base_seed), int(trial))
+    state = _STATE_CACHE.get(key)
+    if state is None:
+        bit_generator = np.random.PCG64(trial_seed_sequence(base_seed, trial))
+        if len(_STATE_CACHE) < _STATE_CACHE_MAX:
+            _STATE_CACHE[key] = bit_generator.state
+    else:
+        bit_generator = np.random.PCG64(0)
+        bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 def trial_rngs(base_seed: int, num_trials: int) -> List[np.random.Generator]:
