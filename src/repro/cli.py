@@ -217,18 +217,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "error: --fail-below needs a loop comparison; add "
             f"--compare-loop {' --compare-loop '.join(uncompared)}"
         )
+    ref_thresholds = _parse_fail_below(args.fail_below_ref)
+    reference_mode = (args.rng or "seedseq", args.dtype or "float64")
+    if ref_thresholds and reference_mode == ("seedseq", "float64"):
+        raise SystemExit(
+            "error: --fail-below-ref needs a non-reference mode; add "
+            "--rng philox and/or --dtype float32"
+        )
     payload = bench_scenarios(
         names,
         repeats=args.repeats,
         warmup=args.warmup,
         compare_loop=compare,
         params=_parse_params(args.param),
+        rng=args.rng,
+        dtype=args.dtype,
     )
     rows = []
     for name in names:
         entry = payload["scenarios"][name]
         vec = entry["vectorized"]
         loop = entry.get("loop")
+        ref = entry.get("reference")
+        fractions = vec.get("stage_fractions", {})
+        stage_text = " ".join(
+            f"{stage}={fractions[stage]:.0%}"
+            for stage in ("rng", "forward", "quantize", "metrics")
+            if stage in fractions
+        )
         rows.append(
             (
                 name,
@@ -237,18 +253,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 vec["engine_passes"],
                 f"{loop['median_s'] * 1e3:.1f}" if loop else "-",
                 f"{entry['speedup_median']:.2f}x" if loop else "-",
+                f"{entry['speedup_vs_reference_median']:.2f}x" if ref else "-",
+                stage_text or "-",
             )
         )
     print(
         format_table(
             ["scenario", "median (ms)", "p90 (ms)", "passes", "loop median (ms)",
-             "speedup"],
+             "speedup", "vs ref", "stages"],
             rows,
         )
     )
     target = write_bench_report(payload, args.output)
     print(f"\nwrote {target}", file=sys.stderr)
     failures = check_speedups(payload, thresholds)
+    failures += check_speedups(
+        payload, ref_thresholds, key="speedup_vs_reference_median"
+    )
     for failure in failures:
         print(f"SPEEDUP CHECK FAILED {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -396,6 +417,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero when SCENARIO's vectorized speedup "
                               "is below FACTOR (repeatable; requires the "
                               "scenario in --compare-loop)")
+    p_bench.add_argument("--rng", choices=("seedseq", "philox"), default=None,
+                         help="time the headline runs under this REPRO_RNG mode "
+                              "(default: ambient environment; non-reference "
+                              "modes also time the bit-exact reference and "
+                              "record speedup_vs_reference_median)")
+    p_bench.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                         help="time the headline runs under this REPRO_DTYPE "
+                              "mode (default: ambient environment)")
+    p_bench.add_argument("--fail-below-ref", action="append", default=[],
+                         metavar="SCENARIO=FACTOR",
+                         help="exit non-zero when SCENARIO's speedup over the "
+                              "bit-exact reference mode is below FACTOR "
+                              "(repeatable; requires --rng/--dtype selecting a "
+                              "non-reference mode)")
     p_bench.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                          help="override a scenario parameter for every "
                               "benchmarked scenario (repeatable)")

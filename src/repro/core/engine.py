@@ -614,8 +614,9 @@ class MonteCarloAccuracyPass(EnginePass):
             return
         # Lazy import: repro.variation imports the engine for its convenience
         # entry points, so the engine only touches it when accuracy is asked for.
-        from repro.onn.layers import forward_mode
+        from repro.onn.layers import dtype_mode, forward_mode
         from repro.variation.montecarlo import LinkOperatingPoint, run_monte_carlo
+        from repro.variation.sampler import rng_mode
 
         archs = ReceiverPrecisionPass._target_archs(ctx)
         if not archs:
@@ -649,11 +650,14 @@ class MonteCarloAccuracyPass(EnginePass):
         if not cache.enabled:
             ctx.accuracy_report = compute()
             return
-        # The forward mode is part of the key: the legacy loop path and the
-        # trial-batched path agree to ~1e-9, not bit-for-bit, so an A/B
-        # comparison within one process must never serve one mode's memoized
-        # study to the other.
-        key = fingerprint(request.fingerprint(), bits, link, forward_mode())
+        # Every active perf mode is part of the key: the loop and batched
+        # forwards agree to ~1e-9 (not bit-for-bit), philox streams differ
+        # from the SeedSequence contract by construction, and float32 studies
+        # round differently -- so an A/B comparison within one process must
+        # never serve one mode's memoized study to another.
+        key = fingerprint(
+            request.fingerprint(), bits, link, forward_mode(), rng_mode(), dtype_mode()
+        )
         ctx.accuracy_report = cache.get_or_compute(self.name, key, compute)
 
 

@@ -32,10 +32,12 @@ correct without opting in.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import math
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +48,13 @@ from repro.dataflow.gemm import GEMMWorkload
 FORWARD_MODE_ENV = "REPRO_FORWARD"
 
 _FORWARD_MODES = ("vectorized", "loop")
+
+#: Environment knob selecting the trial-batched compute precision: ``float64``
+#: (default, the bit-exact reference) or ``float32`` (an opt-in throughput mode
+#: for non-reference studies -- half the memory traffic per GEMM).
+DTYPE_MODE_ENV = "REPRO_DTYPE"
+
+_DTYPE_MODES = ("float64", "float32")
 
 
 def forward_mode() -> str:
@@ -62,6 +71,106 @@ def forward_mode() -> str:
             f"got {mode!r}"
         )
     return mode
+
+
+def dtype_mode() -> str:
+    """The active batched-compute precision: ``"float64"`` or ``"float32"``.
+
+    Like :func:`forward_mode`, read from ``$REPRO_DTYPE`` on every call.  The
+    float32 mode applies to the *trial-batched* Monte Carlo path only; the
+    serial reference forwards always compute in float64, and committed tables
+    are only reproduced in the default mode.
+    """
+    mode = os.environ.get(DTYPE_MODE_ENV, "float64").strip().lower()
+    if mode not in _DTYPE_MODES:
+        raise ValueError(
+            f"{DTYPE_MODE_ENV} must be one of {', '.join(_DTYPE_MODES)}, "
+            f"got {mode!r}"
+        )
+    return mode
+
+
+def compute_dtype() -> np.dtype:
+    """The numpy dtype of the active :func:`dtype_mode`."""
+    return np.dtype(np.float32 if dtype_mode() == "float32" else np.float64)
+
+
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """``x`` as a floating array, without copying already-float inputs.
+
+    ``np.asarray(x, dtype=float)`` silently upcasts (and therefore copies)
+    float32 stacks back to float64, defeating ``REPRO_DTYPE=float32``; this
+    keeps whatever float precision the caller chose and only converts
+    non-float inputs.
+    """
+    arr = np.asarray(x)
+    if arr.dtype.kind != "f":
+        arr = arr.astype(float)
+    return arr
+
+
+def _match_dtype(x: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``x`` cast to ``dtype`` only when it differs (no-op in reference mode)."""
+    return x if x.dtype == dtype else x.astype(dtype)
+
+
+# -- reusable scratch buffers ----------------------------------------------------------
+
+
+class Workspace:
+    """A pool of 64-byte-aligned, keyed scratch buffers reused across calls.
+
+    The trial-batched forwards allocate the same large temporaries (im2col
+    patch matrices, fused draw blocks) once per layer per chunk; a workspace
+    hands back the *same* backing memory on every request with the same key,
+    growing it only when a larger shape is asked for.  Buffers are aligned to
+    64-byte boundaries so BLAS and the vectorized ufunc loops see aligned
+    operands regardless of numpy's allocator.
+
+    A workspace is intentionally not thread-safe: each worker activates its own
+    via :func:`scratch_workspace` (thread-local), which is what makes reuse
+    safe under the thread backend.
+    """
+
+    def __init__(self) -> None:
+        self._raw: Dict[str, np.ndarray] = {}
+
+    def take(self, key: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """An uninitialized ``shape``/``dtype`` view over the keyed buffer."""
+        dtype = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        raw = self._raw.get(key)
+        if raw is None or raw.nbytes < size + 64:
+            raw = self._raw[key] = np.empty(size + 64, dtype=np.uint8)
+        offset = (-raw.ctypes.data) % 64
+        return raw[offset : offset + size].view(dtype).reshape(shape)
+
+
+_WORKSPACE_TLS = threading.local()
+
+
+def active_workspace() -> Optional[Workspace]:
+    """The calling thread's active workspace, or ``None`` outside any scope."""
+    return getattr(_WORKSPACE_TLS, "workspace", None)
+
+
+@contextlib.contextmanager
+def scratch_workspace() -> Iterator[Workspace]:
+    """Activate a scratch workspace for the calling thread's forwards.
+
+    Re-entrant: nested scopes share the outermost workspace, so a chunk-level
+    scope (``montecarlo._run_trial_chunk``) covers every layer underneath it.
+    """
+    existing = active_workspace()
+    if existing is not None:
+        yield existing
+        return
+    workspace = Workspace()
+    _WORKSPACE_TLS.workspace = workspace
+    try:
+        yield workspace
+    finally:
+        _WORKSPACE_TLS.workspace = None
 
 
 class Module:
@@ -91,7 +200,7 @@ class Module:
         clone-and-forward semantics, so any layer is batchable; vectorizable
         layers override this with a single numpy call.
         """
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         if weight is None:
             return np.stack([self.forward(x[i]) for i in range(x.shape[0])])
         outputs = []
@@ -226,25 +335,47 @@ class Linear(Module):
         """Batched ``y = x @ W^T + b`` with an optional per-trial weight stack.
 
         ``x`` is ``(trials, ..., in_features)``; ``weight`` (when given) is
-        ``(trials, out_features, in_features)``.  One batched matmul replaces
-        the per-trial clone-and-forward loop.
+        ``(trials, out_features, in_features)``.  Wherever one operand is
+        shared across trials the per-trial stack collapses into a *single*
+        2-D BLAS GEMM over a ``(trials*out, in)`` (or ``(trials*rows, in)``)
+        reshape -- one large GEMM instead of ``trials`` small ones -- and the
+        collapse is bit-identical to the batched matmul because the k-dim
+        reduction order per output element is unchanged.
         """
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"{self.name}: expected last dim {self.in_features}, got {x.shape[-1]}"
             )
+        trials = x.shape[0]
         if weight is None:
-            # The layer's own weights broadcast over every leading axis.
-            y = x @ self.effective_weight().T
+            # The layer's own weights are shared by every trial: flatten all
+            # leading axes into one GEMM m-dimension.
+            w = _match_dtype(self.effective_weight(), x.dtype)
+            flat = np.ascontiguousarray(x.reshape(-1, self.in_features))
+            y = (flat @ w.T).reshape(x.shape[:-1] + (self.out_features,))
         else:
-            w = np.asarray(weight, dtype=float)
-            if x.ndim == 2:  # one vector per trial
+            w = _as_float(weight)
+            if x.ndim == 2 and x.strides[0] == 0:
+                # Shared input vector, per-trial weights: one (trials*out, in)
+                # x (in,) matvec-GEMM instead of trials small ones.
+                y = (w.reshape(trials * self.out_features, self.in_features) @ x[0]).reshape(
+                    trials, self.out_features
+                )
+            elif x.ndim == 2:  # one vector per trial
                 y = np.einsum("ti,toi->to", x, w)
+            elif x.strides[0] == 0:
+                # Shared (rows, in) input, per-trial weights: one GEMM against
+                # the stacked (trials*out, in) weight view, then unstack.
+                stacked = w.reshape(trials * self.out_features, self.in_features)
+                y = (x[0] @ stacked.T).reshape(
+                    x.shape[1:-1] + (trials, self.out_features)
+                )
+                y = np.moveaxis(y, -2, 0)
             else:
                 y = np.matmul(x, np.swapaxes(w, -1, -2))
         if self.bias is not None:
-            y = y + self.bias
+            y = y + _match_dtype(self.bias, y.dtype)
         return y
 
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
@@ -371,7 +502,12 @@ class Conv2d(Module):
         return cols, (out_h, out_w)
 
     def _im2col_batch(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
-        """im2col over a ``(trials, C, H, W)`` stack -> ``(trials, P, C*k*k)``."""
+        """im2col over a ``(trials, C, H, W)`` stack -> ``(trials, P, C*k*k)``.
+
+        When a scratch workspace is active (the chunked Monte Carlo path) the
+        patch matrix is written into a reused aligned buffer instead of a fresh
+        allocation per layer call.
+        """
         trials, channels, height, width = x.shape
         out_h, out_w = self.output_hw(height, width)
         padded = np.pad(
@@ -381,9 +517,15 @@ class Conv2d(Module):
         k = self.kernel_size
         windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
         windows = windows[:, :, :: self.stride, :: self.stride]
-        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-            trials, out_h * out_w, channels * k * k
+        view = windows.transpose(0, 2, 3, 1, 4, 5)  # (t, out_h, out_w, C, k, k)
+        workspace = active_workspace()
+        if workspace is None:
+            cols = view.reshape(trials, out_h * out_w, channels * k * k)
+            return cols, (out_h, out_w)
+        cols = workspace.take(
+            f"im2col:{self.name}", (trials, out_h * out_w, channels * k * k), x.dtype
         )
+        np.copyto(cols.reshape(view.shape), view)
         return cols, (out_h, out_w)
 
     def effective_weight(self) -> np.ndarray:
@@ -409,30 +551,49 @@ class Conv2d(Module):
     ) -> np.ndarray:
         """Batched convolution: ``x`` is ``(trials, C, H, W)``, ``weight``
         (when given) a ``(trials, out_c, C, k, k)`` per-trial stack."""
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"{self.name}: expected (trials, C={self.in_channels}, H, W) "
                 f"input, got {x.shape}"
             )
         trials = x.shape[0]
+        shared_cols = None
         if x.strides[0] == 0:
             # All trials share one input (a broadcast stack, e.g. the first
             # weighted layer of a Monte Carlo study): build the patch matrix
-            # once and broadcast it into the per-trial weight matmul.
+            # once -- the per-trial weight stack then collapses into a single
+            # (P, C*k*k) x (C*k*k, trials*out_c) GEMM below.
             shared_cols, (out_h, out_w) = self._im2col_strided(x[0])
             cols = np.broadcast_to(shared_cols, (trials,) + shared_cols.shape)
         else:
             cols, (out_h, out_w) = self._im2col_batch(x)
+        patch = self.in_channels * self.kernel_size * self.kernel_size
         if weight is None:
-            w2 = self.effective_weight().reshape(self.out_channels, -1)
-            out = cols @ w2.T
+            w2 = _match_dtype(self.effective_weight().reshape(self.out_channels, -1), x.dtype)
+            if shared_cols is not None:
+                out = np.broadcast_to(shared_cols @ w2.T, (trials,) + (cols.shape[1], self.out_channels))
+            else:
+                # One GEMM over all trials' rows instead of a stacked matmul.
+                flat = cols.reshape(trials * cols.shape[1], patch)
+                out = (flat @ w2.T).reshape(trials, cols.shape[1], self.out_channels)
         else:
-            w2 = np.asarray(weight, dtype=float).reshape(trials, self.out_channels, -1)
-            out = np.matmul(cols, np.swapaxes(w2, -1, -2))
+            w2 = _as_float(weight).reshape(trials, self.out_channels, patch)
+            if shared_cols is not None:
+                # Fused GEMM: the shared patch matrix against the stacked
+                # (trials*out_c, patch) weight view, unstacked afterwards.
+                stacked = w2.reshape(trials * self.out_channels, patch)
+                out = (shared_cols @ stacked.T).reshape(
+                    cols.shape[1], trials, self.out_channels
+                )
+                out = out.transpose(1, 0, 2)
+            else:
+                out = np.matmul(cols, np.swapaxes(w2, -1, -2))
         if self.bias is not None:
-            out = out + self.bias
-        return out.transpose(0, 2, 1).reshape(trials, self.out_channels, out_h, out_w)
+            out = out + _match_dtype(self.bias, out.dtype)
+        return np.ascontiguousarray(out.transpose(0, 2, 1)).reshape(
+            trials, self.out_channels, out_h, out_w
+        )
 
     def extract_gemms(self, x: np.ndarray) -> Tuple[List[GEMMWorkload], np.ndarray]:
         x = np.asarray(x, dtype=float)
@@ -531,7 +692,7 @@ class MultiHeadAttention(Module):
         """
         if weight is not None:
             raise ValueError("MultiHeadAttention has no top-level weight stack")
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         if x.ndim == 2:
             return self.forward(x)
         if x.ndim != 3 or x.shape[-1] != self.embed_dim:
@@ -619,25 +780,25 @@ class _ElementwiseModule(Module):
 
 class ReLU(_ElementwiseModule):
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.maximum(np.asarray(x, dtype=float), 0.0)
+        return np.maximum(_as_float(x), 0.0)
 
 
 class GELU(_ElementwiseModule):
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         return 0.5 * x * (1.0 + np.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
 
 
 class Flatten(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=float).ravel()
+        return _as_float(x).ravel()
 
     def forward_batch(
         self, x: np.ndarray, weight: Optional[np.ndarray] = None
     ) -> np.ndarray:
         if weight is not None:
             raise ValueError("Flatten takes no weight stack")
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         return x.reshape(x.shape[0], -1)
 
 
@@ -659,7 +820,7 @@ class MaxPool2d(Module):
         return trimmed.reshape(*lead, out_h, k, out_w, k)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         return self._windowed(x, self.kernel_size).max(axis=(-3, -1))
 
     def forward_batch(
@@ -673,7 +834,7 @@ class MaxPool2d(Module):
 
 class AvgPool2d(MaxPool2d):
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         return self._windowed(x, self.kernel_size).mean(axis=(-3, -1))
 
 
@@ -697,13 +858,15 @@ class BatchNorm2d(Module):
     ) -> np.ndarray:
         if weight is not None:
             raise ValueError("BatchNorm2d takes no weight stack")
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         if x.ndim != 4 or x.shape[1] != self.num_channels:
             raise ValueError(
                 f"{self.name}: expected (trials, {self.num_channels}, H, W), "
                 f"got {x.shape}"
             )
-        return x * self.scale[:, None, None] + self.shift[:, None, None]
+        scale = _match_dtype(self.scale, x.dtype)
+        shift = _match_dtype(self.shift, x.dtype)
+        return x * scale[:, None, None] + shift[:, None, None]
 
 
 class LayerNorm(_ElementwiseModule):
@@ -717,7 +880,9 @@ class LayerNorm(_ElementwiseModule):
         self.shift = np.zeros(normalized_dim)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=float)
+        x = _as_float(x)
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
-        return (x - mean) / np.sqrt(var + self.eps) * self.scale + self.shift
+        scale = _match_dtype(self.scale, x.dtype)
+        shift = _match_dtype(self.shift, x.dtype)
+        return (x - mean) / np.sqrt(var + self.eps) * scale + shift

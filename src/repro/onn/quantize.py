@@ -57,11 +57,14 @@ def quantize_uniform_batch(
     as if :func:`quantize_uniform` were called per trial -- the scale is a
     per-trial scalar broadcast over the slice, so the result is bit-identical
     to the per-trial loop -- but the rounding and rescaling run as one batched
-    numpy call.
+    numpy call.  Float inputs keep their dtype (the ``REPRO_DTYPE=float32``
+    batched path quantizes float32 stacks without a float64 round trip).
     """
     if bits < 1:
         raise ValueError(f"bits must be >= 1, got {bits}")
-    values = np.asarray(values, dtype=float)
+    values = np.asarray(values)
+    if values.dtype.kind != "f":
+        values = values.astype(float)
     if values.size == 0:
         return values.copy()
     if values.ndim < 2:
@@ -82,7 +85,7 @@ def quantize_uniform_batch(
         safe = np.where(scale == 0.0, 1.0, scale)
         # In-place round/rescale: one output allocation instead of three
         # temporaries (these stacks are the batched path's largest tensors).
-        out = np.divide(values, safe, out=np.empty_like(values, dtype=float))
+        out = np.divide(values, safe, out=np.empty_like(values))
         np.round(out, out=out)
         out *= safe
         if np.any(peak == 0.0):

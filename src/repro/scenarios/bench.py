@@ -3,12 +3,26 @@
 ``repro bench`` times scenarios from the registry -- warmup runs followed by
 timed repeats, each against a fresh private :class:`EvaluationCache` and no
 result store, so every repeat measures real engine work -- and writes a
-versioned JSON report (``BENCH_PR5.json`` by default) seeding the repo's
+versioned JSON report (``BENCH_PR6.json`` by default) seeding the repo's
 performance trajectory: one file per PR, diffable across hosts and commits.
 
-A scenario can additionally be timed on the legacy ``REPRO_FORWARD=loop``
-path (``compare_loop``), which records both timings plus the median speedup of
-the default vectorized path -- the regression gate CI's perf-smoke job checks.
+Schema ``repro-bench/2`` makes every timing block self-describing:
+
+- ``knobs`` records the active perf knobs (``REPRO_FORWARD``, ``REPRO_RNG``,
+  ``REPRO_DTYPE``, ``REPRO_MC_TRIALS``, ``REPRO_MC_BACKEND``,
+  ``REPRO_MC_JOBS``) so entries from different modes are never compared
+  apples-to-oranges;
+- ``stages_s`` / ``stage_fractions`` attribute the Monte Carlo wall-clock to
+  the rng / forward / quantize / metrics stages
+  (:mod:`repro.variation.stages`), recording where the *next* ceiling is.
+
+A scenario can be timed along three axes: the legacy ``REPRO_FORWARD=loop``
+path (``compare_loop`` -> ``speedup_median``, the regression gate CI's
+perf-smoke job checks), and the ``rng`` / ``dtype`` throughput modes.  When a
+non-reference rng or dtype is selected, the bit-exact reference mode
+(``vectorized`` + ``seedseq`` + ``float64``) is timed alongside and
+``speedup_vs_reference_median`` records the additional speedup the fast path
+buys over it.
 """
 
 from __future__ import annotations
@@ -21,21 +35,35 @@ import sys
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.cache import EvaluationCache
 from repro.core.engine import observe_passes
 from repro.exec.backends import available_cpus
-from repro.onn.layers import FORWARD_MODE_ENV, forward_mode
+from repro.onn.layers import (
+    DTYPE_MODE_ENV,
+    FORWARD_MODE_ENV,
+    dtype_mode,
+    forward_mode,
+)
 from repro.scenarios.registry import REGISTRY
+from repro.variation.sampler import RNG_MODE_ENV, rng_mode
+from repro.variation.stages import StageAccumulator, observe_stages
 
 #: Schema tag embedded in every report, bumped on incompatible layout changes.
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
 
 #: Default output path -- the repo-root perf-trajectory artifact of this PR.
-DEFAULT_BENCH_PATH = "BENCH_PR5.json"
+DEFAULT_BENCH_PATH = "BENCH_PR6.json"
+
+#: Environment knobs recorded verbatim in every timing block (execution shape).
+_RECORDED_ENV = ("REPRO_MC_TRIALS", "REPRO_MC_BACKEND", "REPRO_MC_JOBS")
+
+#: The bit-exact reference mode: the only mode committed scenario tables
+#: reproduce under, and the baseline ``speedup_vs_reference_median`` divides by.
+REFERENCE_MODE = ("vectorized", "seedseq", "float64")
 
 
 def _percentile(sorted_times: Sequence[float], fraction: float) -> float:
@@ -48,7 +76,7 @@ def _percentile(sorted_times: Sequence[float], fraction: float) -> float:
 
 @dataclass
 class BenchTiming:
-    """Timed repeats of one scenario on one forward mode."""
+    """Timed repeats of one scenario on one (forward, rng, dtype) mode."""
 
     mode: str
     repeats: int
@@ -60,6 +88,12 @@ class BenchTiming:
     mean_s: float = 0.0
     engine_passes: int = 0
     cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Active perf knobs at measurement time (self-describing entries).
+    knobs: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Per-stage wall-clock totals over the timed repeats (absent stages ran 0s).
+    stages_s: Dict[str, float] = field(default_factory=dict)
+    #: Each stage's fraction of the total timed wall-clock.
+    stage_fractions: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_times(
@@ -69,8 +103,12 @@ class BenchTiming:
         times_s: Sequence[float],
         engine_passes: int,
         cache_stats: Mapping[str, Mapping[str, float]],
+        knobs: Optional[Mapping[str, Optional[str]]] = None,
+        stages_s: Optional[Mapping[str, float]] = None,
     ) -> "BenchTiming":
         ordered = sorted(times_s)
+        total = float(sum(times_s))
+        stages = {k: float(v) for k, v in (stages_s or {}).items()}
         return cls(
             mode=mode,
             repeats=len(ordered),
@@ -82,24 +120,48 @@ class BenchTiming:
             mean_s=float(sum(ordered) / len(ordered)),
             engine_passes=int(engine_passes),
             cache_stats={k: dict(v) for k, v in cache_stats.items()},
+            knobs=dict(knobs or {}),
+            stages_s=stages,
+            stage_fractions={
+                k: (v / total if total > 0 else 0.0) for k, v in stages.items()
+            },
         )
+
+
+@contextlib.contextmanager
+def _forced_env(var: str, value: Optional[str]) -> Iterator[None]:
+    """Pin an environment knob for the duration of the block (None = leave as is)."""
+    if value is None:
+        yield
+        return
+    previous = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = previous
 
 
 @contextlib.contextmanager
 def _forced_forward_mode(mode: Optional[str]) -> Iterator[None]:
     """Pin ``$REPRO_FORWARD`` for the duration of the block (None = leave as is)."""
-    if mode is None:
+    with _forced_env(FORWARD_MODE_ENV, mode):
         yield
-        return
-    previous = os.environ.get(FORWARD_MODE_ENV)
-    os.environ[FORWARD_MODE_ENV] = mode
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop(FORWARD_MODE_ENV, None)
-        else:
-            os.environ[FORWARD_MODE_ENV] = previous
+
+
+def _active_knobs() -> Dict[str, Optional[str]]:
+    """The resolved perf knobs plus the raw execution-shape environment."""
+    knobs: Dict[str, Optional[str]] = {
+        FORWARD_MODE_ENV: forward_mode(),
+        RNG_MODE_ENV: rng_mode(),
+        DTYPE_MODE_ENV: dtype_mode(),
+    }
+    for var in _RECORDED_ENV:
+        knobs[var] = os.environ.get(var)
+    return knobs
 
 
 def time_scenario(
@@ -108,13 +170,19 @@ def time_scenario(
     warmup: int = 1,
     params: Optional[Mapping[str, Any]] = None,
     mode: Optional[str] = None,
+    rng: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> BenchTiming:
     """Time ``repeats`` fresh runs of one scenario (after ``warmup`` discards).
 
     Every run gets a private evaluation cache and bypasses the result store,
-    so the wall-clock covers the scenario's real engine passes; the pass count
-    and the final run's per-stage cache hit rates are recorded alongside the
+    so the wall-clock covers the scenario's real engine passes; the pass count,
+    the final run's per-stage cache hit rates, the active perf knobs and the
+    variation pipeline's per-stage wall-clock are recorded alongside the
     timings (scenarios with internal sweeps legitimately hit their own cache).
+
+    ``mode`` / ``rng`` / ``dtype`` pin ``$REPRO_FORWARD`` / ``$REPRO_RNG`` /
+    ``$REPRO_DTYPE`` for the measurement; ``None`` leaves the ambient value.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
@@ -123,8 +191,14 @@ def time_scenario(
     times: List[float] = []
     passes = 0
     stats: Dict[str, Dict[str, float]] = {}
-    with _forced_forward_mode(mode):
-        resolved_mode = forward_mode()
+    stage_totals = StageAccumulator()
+    with _forced_env(FORWARD_MODE_ENV, mode), _forced_env(
+        RNG_MODE_ENV, rng
+    ), _forced_env(DTYPE_MODE_ENV, dtype):
+        knobs = _active_knobs()
+        mode_label = "/".join(
+            (knobs[FORWARD_MODE_ENV], knobs[RNG_MODE_ENV], knobs[DTYPE_MODE_ENV])
+        )
         for round_index in range(warmup + repeats):
             cache = EvaluationCache()
             pass_count = 0
@@ -134,11 +208,17 @@ def time_scenario(
                 if getattr(engine, "cache", None) is cache:
                     pass_count += 1
 
-            with observe_passes(count):
+            timed = round_index >= warmup
+            with contextlib.ExitStack() as stack:
+                stack.enter_context(observe_passes(count))
+                if timed:
+                    # Stage observation only on timed rounds: identical
+                    # instrumentation overhead in every mode's numbers.
+                    stack.enter_context(observe_stages(stage_totals))
                 start = time.perf_counter()
                 REGISTRY.run(name, params=params, cache=cache, store=None, force=True)
                 elapsed = time.perf_counter() - start
-            if round_index >= warmup:
+            if timed:
                 times.append(elapsed)
                 passes = pass_count
                 stats = {
@@ -149,7 +229,10 @@ def time_scenario(
                     }
                     for stage, stat in cache.stats.items()
                 }
-    return BenchTiming.from_times(resolved_mode, warmup, times, passes, stats)
+    return BenchTiming.from_times(
+        mode_label, warmup, times, passes, stats, knobs=knobs,
+        stages_s=stage_totals.totals(),
+    )
 
 
 def bench_scenarios(
@@ -158,13 +241,21 @@ def bench_scenarios(
     warmup: int = 1,
     compare_loop: Sequence[str] = (),
     params: Optional[Mapping[str, Any]] = None,
+    rng: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Benchmark ``names`` and return the JSON-ready report payload.
 
+    The headline ``vectorized`` timing runs on the requested ``rng`` / ``dtype``
+    modes (defaults: the ambient environment, normally the bit-exact reference).
     Scenarios listed in ``compare_loop`` are additionally timed on the legacy
-    ``REPRO_FORWARD=loop`` path; their entries gain a ``loop`` timing block and
-    ``speedup_median`` (loop median / vectorized median -- > 1 means the
-    vectorized default is faster).
+    ``REPRO_FORWARD=loop`` path (same rng/dtype); their entries gain a ``loop``
+    timing block and ``speedup_median`` (loop median / vectorized median --
+    > 1 means the vectorized default is faster).  When the requested rng/dtype
+    differ from the reference mode, each scenario is *also* timed on the
+    reference mode (``reference`` block) and ``speedup_vs_reference_median``
+    records reference median / vectorized median -- the additional speedup the
+    selected throughput mode buys over the bit-exact contract.
     """
     unknown = [n for n in compare_loop if n not in names]
     if unknown:
@@ -174,12 +265,30 @@ def bench_scenarios(
     scenarios: Dict[str, Any] = {}
     for name in names:
         vectorized = time_scenario(
-            name, repeats=repeats, warmup=warmup, params=params, mode="vectorized"
+            name, repeats=repeats, warmup=warmup, params=params,
+            mode="vectorized", rng=rng, dtype=dtype,
         )
         entry: Dict[str, Any] = {"vectorized": asdict(vectorized)}
+        selected: Tuple[str, str, str] = (
+            "vectorized",
+            vectorized.knobs[RNG_MODE_ENV] or "seedseq",
+            vectorized.knobs[DTYPE_MODE_ENV] or "float64",
+        )
+        if selected != REFERENCE_MODE:
+            reference = time_scenario(
+                name, repeats=repeats, warmup=warmup, params=params,
+                mode="vectorized", rng="seedseq", dtype="float64",
+            )
+            entry["reference"] = asdict(reference)
+            entry["speedup_vs_reference_median"] = (
+                reference.median_s / vectorized.median_s
+                if vectorized.median_s > 0
+                else 0.0
+            )
         if name in compare_loop:
             loop = time_scenario(
-                name, repeats=repeats, warmup=warmup, params=params, mode="loop"
+                name, repeats=repeats, warmup=warmup, params=params,
+                mode="loop", rng=rng, dtype=dtype,
             )
             entry["loop"] = asdict(loop)
             entry["speedup_median"] = (
@@ -200,6 +309,10 @@ def bench_scenarios(
             "warmup": warmup,
             "params": dict(params or {}),
             "forward_env": FORWARD_MODE_ENV,
+            "rng_env": RNG_MODE_ENV,
+            "dtype_env": DTYPE_MODE_ENV,
+            "rng": rng,
+            "dtype": dtype,
         },
         "scenarios": scenarios,
     }
@@ -217,26 +330,35 @@ def write_bench_report(
 
 
 def check_speedups(
-    payload: Mapping[str, Any], thresholds: Mapping[str, float]
+    payload: Mapping[str, Any],
+    thresholds: Mapping[str, float],
+    key: str = "speedup_median",
 ) -> List[str]:
     """Validate recorded speedups against per-scenario minimum factors.
 
-    Returns human-readable violation messages (empty = all thresholds met).
-    Scenarios without a recorded comparison fail loudly -- a gate against a
-    missing ``compare_loop`` selection silently passing CI.
+    ``key`` selects which recorded ratio is gated: ``speedup_median`` (the
+    loop-path comparison, default) or ``speedup_vs_reference_median`` (the
+    throughput-mode-vs-reference comparison).  Returns human-readable
+    violation messages (empty = all thresholds met).  Scenarios without the
+    recorded comparison fail loudly -- a gate against a missing comparison
+    selection silently passing CI.
     """
+    labels = {
+        "speedup_median": "no loop-path comparison recorded",
+        "speedup_vs_reference_median": "no reference-mode comparison recorded",
+    }
     failures = []
     for name, minimum in thresholds.items():
         entry = payload.get("scenarios", {}).get(name)
         if entry is None:
             failures.append(f"{name}: not benchmarked")
             continue
-        speedup = entry.get("speedup_median")
+        speedup = entry.get(key)
         if speedup is None:
-            failures.append(f"{name}: no loop-path comparison recorded")
+            failures.append(f"{name}: {labels.get(key, f'no {key} recorded')}")
         elif speedup < minimum:
             failures.append(
-                f"{name}: vectorized speedup {speedup:.2f}x below the "
-                f"required {minimum:.2f}x"
+                f"{name}: speedup {speedup:.2f}x below the "
+                f"required {minimum:.2f}x ({key})"
             )
     return failures

@@ -37,6 +37,7 @@ from repro.devices.response import QuadraticPhaseShifterResponse, TabulatedRespo
 from repro.explore import DesignSpace, DesignSpaceExplorer
 from repro.layout import SignalFlowFloorplanner, naive_footprint_sum_um2
 from repro.onn import ONNConversionConfig, convert_to_onn, extract_workloads
+from repro.onn.layers import dtype_mode
 from repro.onn.models import build_bert_base_image, build_vgg8_cifar10
 from repro.scenarios.registry import REGISTRY, ScenarioContext
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
@@ -1189,8 +1190,14 @@ def _check_variation_robustness(result: ScenarioResult) -> None:
     magnitudes = sorted(series)
     assert magnitudes == sorted(_ROBUSTNESS_MAGNITUDES)
     # Zero variation is exact fidelity to the quantized hardware baseline.
+    # The float64 reference is bit-exact; the REPRO_DTYPE=float32 throughput
+    # mode runs the noisy forward in single precision against the float64
+    # baseline, so its zero-noise residual is single-precision epsilon, not 0.
     assert series[0.0]["accuracy_mean"] == 1.0
-    assert series[0.0]["rmse_mean"] == 0.0
+    if dtype_mode() == "float64":
+        assert series[0.0]["rmse_mean"] == 0.0
+    else:
+        assert series[0.0]["rmse_mean"] <= 1e-5
     accuracies = [series[m]["accuracy_mean"] for m in magnitudes]
     rmses = [series[m]["rmse_mean"] for m in magnitudes]
     for value in accuracies:

@@ -7,8 +7,12 @@ SNR-derived receiver precision into workload-level inference *accuracy*, which
 then stands next to energy / latency / area as a first-class objective:
 
 - :mod:`repro.variation.models`     -- composable :class:`NoiseSpec` variation models;
-- :mod:`repro.variation.sampler`    -- deterministic per-trial seeding, backend-invariant;
+- :mod:`repro.variation.sampler`    -- deterministic per-trial seeding, backend-invariant,
+  in two modes: the bit-exact SeedSequence contract (default) and the
+  counter-based ``REPRO_RNG=philox`` throughput mode;
 - :mod:`repro.variation.accuracy`   -- noisy functional forward + accuracy/error metrics;
+- :mod:`repro.variation.stages`     -- per-stage (rng/forward/quantize/metrics)
+  wall-clock attribution for the bench harness;
 - :mod:`repro.variation.montecarlo` -- trial fan-out over ``repro.exec`` backends,
   the :class:`AccuracyRequest` study record and the engine-integrated
   :func:`evaluate_accuracy` entry point.
@@ -48,7 +52,21 @@ from repro.variation.montecarlo import (
     evaluate_accuracy,
     run_monte_carlo,
 )
-from repro.variation.sampler import trial_rng, trial_rngs, trial_seed_sequence
+from repro.variation.sampler import (
+    make_trial_rng,
+    philox_fused_normals,
+    philox_trial_rng,
+    rng_mode,
+    trial_rng,
+    trial_rngs,
+    trial_seed_sequence,
+)
+from repro.variation.stages import (
+    STAGE_NAMES,
+    StageAccumulator,
+    observe_stages,
+    stage,
+)
 
 __all__ = [
     "AccuracyReport",
@@ -62,16 +80,24 @@ __all__ = [
     "TrialResult",
     "VariationModel",
     "WeightEncodingError",
+    "STAGE_NAMES",
+    "StageAccumulator",
     "classification_agreement",
     "classification_agreement_batch",
     "evaluate_accuracy",
+    "make_trial_rng",
     "model_fingerprint",
     "noisy_forward",
     "noisy_forward_batch",
+    "observe_stages",
     "output_rmse",
     "output_rmse_batch",
+    "philox_fused_normals",
+    "philox_trial_rng",
     "reference_forward",
+    "rng_mode",
     "run_monte_carlo",
+    "stage",
     "standard_noise",
     "trial_rng",
     "trial_rngs",

@@ -25,13 +25,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.cache import digest, memoized_fingerprint
-from repro.onn.layers import Module, Sequential
+from repro.onn.layers import Module, Sequential, _as_float, _match_dtype, compute_dtype
 from repro.onn.quantize import (
     quantize_uniform,
     quantize_uniform_batch,
     receiver_limited_bits,
 )
 from repro.variation.models import IDEAL, NoiseSpec
+from repro.variation.stages import stage
 
 #: RNG used for noise-free reference passes (an empty spec draws nothing).
 _NULL_RNG = np.random.default_rng(0)
@@ -162,52 +163,103 @@ def _fused_draws(
     return blocks
 
 
+def _sliced_draw_blocks(
+    spec: NoiseSpec, weight_draws: np.ndarray, sizes: Sequence[int]
+) -> List[np.ndarray]:
+    """Slice a pre-generated ``(trials, total_draws)`` slab into per-layer blocks.
+
+    The layout matches :func:`_fused_draws` (draw order per weighted layer), so
+    the counter-based fast path consumes the same block shapes the per-trial
+    streams would.
+    """
+    counts = [spec.weight_draw_count(size) for size in sizes]
+    if sum(counts) != weight_draws.shape[1]:
+        raise ValueError(
+            f"weight draw slab has {weight_draws.shape[1]} columns, spec "
+            f"layout needs {sum(counts)}"
+        )
+    blocks: List[np.ndarray] = []
+    offset = 0
+    for count in counts:
+        blocks.append(weight_draws[:, offset : offset + count])
+        offset += count
+    return blocks
+
+
 def _forward_trial_group(
     model: Module,
     x: np.ndarray,
     spec: NoiseSpec,
-    rngs: Sequence[np.random.Generator],
+    rngs: Optional[Sequence[np.random.Generator]],
     in_bits: int,
     w_bits: int,
     out_bits: int,
+    weight_draws: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """One batched noisy forward for trials sharing resolved DAC/ADC bits."""
-    xq = quantize_uniform(x, in_bits)
-    batch = np.broadcast_to(xq, (len(rngs),) + xq.shape)
-    fused = _fused_draws(spec, rngs, _weighted_layer_sizes(model))
+    """One batched noisy forward for trials sharing resolved DAC/ADC bits.
+
+    ``weight_draws``, when given, is this group's pre-generated
+    ``(trials, total_draws)`` standard-normal slab (the ``REPRO_RNG=philox``
+    fast path): the per-trial streams in ``rngs`` are then never consumed for
+    weight noise, only the slab's per-layer slices.
+    """
+    dtype = compute_dtype()
+    with stage("quantize"):
+        xq = quantize_uniform(x, in_bits)
+    xq = _match_dtype(xq, dtype)
+    if weight_draws is not None:
+        trials = int(weight_draws.shape[0])
+        weight_draws = _match_dtype(weight_draws, dtype)
+        fused: Optional[List[np.ndarray]] = _sliced_draw_blocks(
+            spec, weight_draws, _weighted_layer_sizes(model)
+        )
+    else:
+        assert rngs is not None
+        trials = len(rngs)
+        with stage("rng"):
+            fused = _fused_draws(spec, rngs, _weighted_layer_sizes(model))
+    batch = np.broadcast_to(xq, (trials,) + xq.shape)
     weighted_index = 0
     for layer in _forward_layers(model):
         weight = getattr(layer, "weight", None)
         if weight is None:
-            batch = layer.forward_batch(batch)
+            with stage("forward"):
+                batch = layer.forward_batch(batch)
             continue
         base = layer.effective_weight() if hasattr(layer, "effective_weight") else weight
-        if fused is not None:
-            stacked = np.broadcast_to(base, (len(rngs),) + base.shape)
-            perturbed = spec.apply_weight_noise(stacked, fused[weighted_index])
-        else:
-            perturbed = spec.perturb_weights_batch(base, rngs)
+        base = _match_dtype(base, dtype)
+        with stage("forward"):
+            if fused is not None:
+                block = _match_dtype(fused[weighted_index], dtype)
+                stacked = np.broadcast_to(base, (trials,) + base.shape)
+                perturbed = spec.apply_weight_noise(stacked, block)
+            else:
+                perturbed = spec.perturb_weights_batch(base, rngs)
         weighted_index += 1
         mask = getattr(layer, "pruning_mask", None)
         if mask is not None:
             # Pruned devices are powered off: they stay exactly zero under noise.
             perturbed = np.where(mask, perturbed, 0.0)
-        perturbed = quantize_uniform_batch(perturbed, w_bits)
-        batch = layer.forward_batch(batch, weight=perturbed)
-        batch = spec.perturb_activations_batch(batch, rngs)
-        batch = quantize_uniform_batch(batch, out_bits)
-    return np.asarray(batch, dtype=float)
+        with stage("quantize"):
+            perturbed = quantize_uniform_batch(perturbed, w_bits)
+        with stage("forward"):
+            batch = layer.forward_batch(batch, weight=perturbed)
+            batch = spec.perturb_activations_batch(batch, rngs)
+        with stage("quantize"):
+            batch = quantize_uniform_batch(batch, out_bits)
+    return _as_float(batch)
 
 
 def noisy_forward_batch(
     model: Module,
     x: np.ndarray,
     spec: NoiseSpec,
-    rngs: Sequence[np.random.Generator],
+    rngs: Optional[Sequence[np.random.Generator]],
     input_bits: int = 8,
     weight_bits: int = 8,
     output_bits: int = 8,
     effective_bits: Optional[Sequence[Optional[float]]] = None,
+    weight_draws: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Trial-batched :func:`noisy_forward`: one stacked forward per layer.
 
@@ -217,16 +269,37 @@ def noisy_forward_batch(
     draws the per-trial link loss first (as :func:`run_monte_carlo` does) keeps
     the streams bit-identical to the per-trial loop.
 
+    ``weight_draws`` is the counter-based alternative (``REPRO_RNG=philox``):
+    a pre-generated ``(trials, total_draws)`` standard-normal slab whose row
+    ``i`` is trial ``i``'s fused block.  It requires a spec with a statically
+    known draw layout (:meth:`NoiseSpec.supports_fused_sampling`); ``rngs``
+    may then be ``None``.
+
     ``effective_bits`` gives each trial's link-limited resolution; trials are
     grouped by their *resolved* ``(input, weight, output)`` bit tuple -- the
     quantization grids are integers, so drifted trials collapse into a handful
     of groups -- and each group runs one batched forward.  Returns a
-    ``(len(rngs), *output_shape)`` stack, in trial order.
+    ``(trials, *output_shape)`` stack, in trial order.
     """
-    trials = len(rngs)
+    if rngs is not None:
+        trials = len(rngs)
+    elif weight_draws is not None:
+        trials = int(weight_draws.shape[0])
+    else:
+        raise ValueError("noisy_forward_batch needs rngs or a weight_draws slab")
+    if weight_draws is not None:
+        if not spec.supports_fused_sampling():
+            raise ValueError(
+                "weight_draws requires a spec with a statically known draw "
+                "layout (supports_fused_sampling)"
+            )
+        if weight_draws.shape[0] != trials:
+            raise ValueError(
+                f"weight_draws has {weight_draws.shape[0]} rows for {trials} trials"
+            )
     if trials < 1:
-        raise ValueError("noisy_forward_batch needs at least one trial RNG")
-    x = np.asarray(x, dtype=float)
+        raise ValueError("noisy_forward_batch needs at least one trial")
+    x = _as_float(x)
     if effective_bits is None:
         effective = [None] * trials
     else:
@@ -246,7 +319,14 @@ def noisy_forward_batch(
     outputs: Optional[np.ndarray] = None
     for (in_bits, w_bits, out_bits), indices in groups.items():
         group = _forward_trial_group(
-            model, x, spec, [rngs[i] for i in indices], in_bits, w_bits, out_bits
+            model,
+            x,
+            spec,
+            None if rngs is None else [rngs[i] for i in indices],
+            in_bits,
+            w_bits,
+            out_bits,
+            weight_draws=None if weight_draws is None else weight_draws[indices],
         )
         if outputs is None:
             outputs = np.empty((trials,) + group.shape[1:], dtype=float)
@@ -299,10 +379,11 @@ def classification_agreement_batch(
     """Per-trial :func:`classification_agreement` over a ``(trials, ...)`` stack.
 
     One batched argmax/compare replaces the per-trial metric loop; each trial's
-    value is the same sample count ratio the scalar function returns.
+    value is the same sample count ratio the scalar function returns.  Float
+    inputs are used in place (no float64 round-trip copies on the hot path).
     """
-    outputs = np.asarray(outputs, dtype=float)
-    reference = np.asarray(reference, dtype=float)
+    outputs = _as_float(outputs)
+    reference = _as_float(reference)
     if outputs.shape[1:] != reference.shape:
         raise ValueError(
             f"output shape {outputs.shape[1:]} does not match reference "
@@ -317,8 +398,8 @@ def classification_agreement_batch(
 
 def output_rmse_batch(outputs: np.ndarray, reference: np.ndarray) -> np.ndarray:
     """Per-trial :func:`output_rmse` over a ``(trials, ...)`` stack."""
-    outputs = np.asarray(outputs, dtype=float)
-    reference = np.asarray(reference, dtype=float)
+    outputs = _as_float(outputs)
+    reference = _as_float(reference)
     deltas = (outputs - reference) ** 2
     return np.sqrt(deltas.mean(axis=tuple(range(1, deltas.ndim))))
 

@@ -100,6 +100,18 @@ class VariationModel:
         """Per-trial extra insertion loss (dB); defaults to the static part."""
         return self.static_loss_db()
 
+    def loss_draw_count(self) -> int:
+        """Standard-normal draws :meth:`sample_loss_db` consumes per trial.
+
+        Zero for deterministic models; consulted only on the fused-sampling
+        fast path (built-in model types), like :meth:`weight_draw_count`.
+        """
+        return 0
+
+    def loss_db_from_draws(self, z: np.ndarray) -> np.ndarray:
+        """Per-trial loss (dB) from a ``(trials, loss_draw_count)`` draw block."""
+        return np.full(z.shape[0], self.static_loss_db())
+
     def scaled(self, factor: float) -> "VariationModel":
         """This model with every magnitude parameter scaled by ``factor``."""
         return self
@@ -267,6 +279,14 @@ class LinkLossDrift(VariationModel):
         drift = self.mean_db + rng.normal(0.0, self.sigma_db)
         return max(0.0, drift)
 
+    def loss_draw_count(self) -> int:
+        return 1
+
+    def loss_db_from_draws(self, z: np.ndarray) -> np.ndarray:
+        # rng.normal(0, sigma) == sigma * standard_normal() at the same stream
+        # position, so the pre-drawn form matches sample_loss_db's arithmetic.
+        return np.maximum(0.0, self.mean_db + self.sigma_db * z[:, 0])
+
     def scaled(self, factor: float) -> "LinkLossDrift":
         return dataclasses.replace(
             self, mean_db=self.mean_db * factor, sigma_db=self.sigma_db * factor
@@ -373,6 +393,31 @@ class NoiseSpec:
     def sample_loss_db(self, rng: np.random.Generator) -> float:
         """Per-trial link penalty (always consumed before the forward pass)."""
         return sum(model.sample_loss_db(rng) for model in self.models)
+
+    def loss_draw_count(self) -> int:
+        """Standard-normal draws one trial's link-loss sampling consumes."""
+        return sum(model.loss_draw_count() for model in self.models)
+
+    def sample_loss_db_batch(self, z: np.ndarray) -> np.ndarray:
+        """All trials' link penalties from a ``(trials, loss_draw_count)`` block.
+
+        Each model consumes its slice in model order -- the same layout the
+        sequential :meth:`sample_loss_db` calls would walk -- and deterministic
+        models contribute their static penalty, so one vectorized pass replaces
+        a Python call per (trial, model).
+        """
+        totals = np.zeros(z.shape[0])
+        offset = 0
+        for model in self.models:
+            count = model.loss_draw_count()
+            if count:
+                totals += model.loss_db_from_draws(z[:, offset : offset + count])
+                offset += count
+            else:
+                static = model.static_loss_db()
+                if static:
+                    totals += static
+        return totals
 
     def scaled(self, factor: float) -> "NoiseSpec":
         """Every model's magnitudes scaled by ``factor`` (robustness sweeps)."""

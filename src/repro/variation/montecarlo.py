@@ -19,17 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cache import digest, memoized_fingerprint
 from repro.core.snr import SNRAnalyzer, SNRReport
 from repro.exec import partition_indices, resolve_backend
-from repro.onn.layers import Module, forward_mode
+from repro.onn.layers import Module, compute_dtype, forward_mode, scratch_workspace
 from repro.variation.accuracy import (
     AccuracyReport,
     TrialResult,
+    _weighted_layer_sizes,
     aggregate_trials,
     classification_agreement,
     classification_agreement_batch,
@@ -41,7 +42,9 @@ from repro.variation.accuracy import (
     reference_forward,
 )
 from repro.variation.models import NoiseSpec
-from repro.variation.sampler import trial_rng
+from repro.variation.sampler import make_trial_rng, philox_fused_normals
+from repro.variation.sampler import rng_mode as active_rng_mode
+from repro.variation.stages import stage
 
 
 #: Upper bound on trials per batched chunk: large enough to amortize the
@@ -77,6 +80,20 @@ class LinkOperatingPoint:
 
     def effective_bits(self, extra_loss_db: float = 0.0) -> float:
         return self.snr(extra_loss_db).effective_bits
+
+    def effective_bits_batch(self, extra_loss_db: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`effective_bits` over an array of drift losses.
+
+        One numpy pass instead of a Python SNR evaluation per trial; used by
+        the throughput Monte Carlo paths (the reference path keeps the scalar
+        call so committed tables stay byte-stable).
+        """
+        losses = np.asarray(extra_loss_db, dtype=float)
+        received_mw = self.optical_power_mw * 10.0 ** (
+            -(self.insertion_loss_db + losses) / 10.0
+        )
+        analyzer = self.analyzer if self.analyzer is not None else SNRAnalyzer()
+        return analyzer.effective_bits_for_power(received_mw, self.bandwidth_ghz)
 
 
 @dataclass(frozen=True)
@@ -147,11 +164,15 @@ class _TrialContext:
     output_bits: int
     seed: int
     link: Optional[LinkOperatingPoint]
+    #: The RNG mode the study resolved at dispatch time.  Carried in the
+    #: context (not re-read from the environment) so process-pool workers run
+    #: the same mode as the parent regardless of env propagation.
+    rng_mode: str = "seedseq"
 
 
 def _run_trial(shared: _TrialContext, trial: int) -> TrialResult:
     """One Monte Carlo trial: a pure function of the shared context and its index."""
-    rng = trial_rng(shared.seed, trial)
+    rng = make_trial_rng(shared.seed, trial, shared.rng_mode)
     extra_loss_db = shared.spec.sample_loss_db(rng)
     if shared.link is not None:
         effective_bits = shared.link.effective_bits(extra_loss_db)
@@ -186,42 +207,102 @@ def _run_trial_chunk(shared: _TrialContext, trials: List[int]) -> List[TrialResu
     one batched numpy pass per layer per resolved-bits group instead of
     ``len(trials)`` full model clones.
     """
-    rngs = [trial_rng(shared.seed, trial) for trial in trials]
-    losses = [shared.spec.sample_loss_db(rng) for rng in rngs]
-    if shared.link is not None:
-        # Distinct loss values map to distinct SNR evaluations; drift-free
-        # specs collapse every trial onto one memoized receiver computation.
-        by_loss: dict = {}
-        effective = []
-        for loss in losses:
-            bits = by_loss.get(loss)
-            if bits is None:
-                bits = by_loss[loss] = shared.link.effective_bits(loss)
-            effective.append(bits)
-    else:
-        effective = [math.inf] * len(trials)
-    outputs = noisy_forward_batch(
-        shared.model,
-        shared.inputs,
-        shared.spec,
-        rngs,
-        input_bits=shared.input_bits,
-        weight_bits=shared.weight_bits,
-        output_bits=shared.output_bits,
-        effective_bits=effective,
-    )
-    accuracies = classification_agreement_batch(outputs, shared.reference)
-    rmses = output_rmse_batch(outputs, shared.reference)
-    return [
-        TrialResult(
-            trial=trial,
-            accuracy=float(accuracies[i]),
-            rmse=float(rmses[i]),
-            effective_bits=float(effective[i]),
-            extra_loss_db=float(losses[i]),
+    with stage("rng"):
+        rngs = [make_trial_rng(shared.seed, trial, shared.rng_mode) for trial in trials]
+        losses = [shared.spec.sample_loss_db(rng) for rng in rngs]
+    effective = _effective_bits_for(shared, losses)
+    with scratch_workspace():
+        outputs = noisy_forward_batch(
+            shared.model,
+            shared.inputs,
+            shared.spec,
+            rngs,
+            input_bits=shared.input_bits,
+            weight_bits=shared.weight_bits,
+            output_bits=shared.output_bits,
+            effective_bits=effective,
         )
-        for i, trial in enumerate(trials)
-    ]
+    with stage("metrics"):
+        accuracies = classification_agreement_batch(outputs, shared.reference)
+        rmses = output_rmse_batch(outputs, shared.reference)
+        return [
+            TrialResult(
+                trial=trial,
+                accuracy=float(accuracies[i]),
+                rmse=float(rmses[i]),
+                effective_bits=float(effective[i]),
+                extra_loss_db=float(losses[i]),
+            )
+            for i, trial in enumerate(trials)
+        ]
+
+
+def _effective_bits_for(
+    shared: _TrialContext, losses: Sequence[float]
+) -> List[float]:
+    """Per-trial receiver precision for the chunk's sampled link penalties.
+
+    Distinct loss values map to distinct SNR evaluations; drift-free specs
+    collapse every trial onto one memoized receiver computation.
+    """
+    if shared.link is None:
+        return [math.inf] * len(losses)
+    by_loss: dict = {}
+    effective = []
+    for loss in losses:
+        bits = by_loss.get(loss)
+        if bits is None:
+            bits = by_loss[loss] = shared.link.effective_bits(loss)
+        effective.append(bits)
+    return effective
+
+
+def _run_philox_chunk(
+    shared: _TrialContext, task: Tuple[List[int], np.ndarray]
+) -> List[TrialResult]:
+    """A chunk of trials driven by pre-generated counter-based draws.
+
+    ``task`` is ``(trial_indices, draws)`` where ``draws`` holds each trial's
+    row of the study-wide Philox slab: the leading ``loss_draw_count`` columns
+    are the link-loss draws, the rest the fused weight-noise block.  No
+    per-trial generator is ever constructed -- the whole chunk consumes numpy
+    slices of one matrix, which is what makes this mode's RNG cost nearly
+    independent of the trial count.
+    """
+    trials, draws = task
+    loss_columns = shared.spec.loss_draw_count()
+    with stage("rng"):
+        loss_array = shared.spec.sample_loss_db_batch(draws[:, :loss_columns])
+    losses = [float(v) for v in loss_array]
+    if shared.link is None:
+        effective: List[float] = [math.inf] * len(trials)
+    else:
+        effective = [float(v) for v in shared.link.effective_bits_batch(loss_array)]
+    with scratch_workspace():
+        outputs = noisy_forward_batch(
+            shared.model,
+            shared.inputs,
+            shared.spec,
+            rngs=None,
+            input_bits=shared.input_bits,
+            weight_bits=shared.weight_bits,
+            output_bits=shared.output_bits,
+            effective_bits=effective,
+            weight_draws=draws[:, loss_columns:],
+        )
+    with stage("metrics"):
+        accuracies = classification_agreement_batch(outputs, shared.reference)
+        rmses = output_rmse_batch(outputs, shared.reference)
+        return [
+            TrialResult(
+                trial=trial,
+                accuracy=float(accuracies[i]),
+                rmse=float(rmses[i]),
+                effective_bits=float(effective[i]),
+                extra_loss_db=float(losses[i]),
+            )
+            for i, trial in enumerate(trials)
+        ]
 
 
 def run_monte_carlo(
@@ -260,6 +341,7 @@ def run_monte_carlo(
             output_bits=output_bits,
             effective_bits=nominal_bits,
         )
+    mode = active_rng_mode()
     shared = _TrialContext(
         model=request.model,
         inputs=request.inputs,
@@ -270,6 +352,7 @@ def run_monte_carlo(
         output_bits=output_bits,
         seed=request.seed,
         link=link,
+        rng_mode=mode,
     )
     backend = resolve_backend(request.backend, request.jobs)
     if forward_mode() == "loop":
@@ -283,11 +366,35 @@ def run_monte_carlo(
         # per worker but capped at _TRIAL_CHUNK_CAP trials so the stacked
         # per-layer temporaries stay cache-resident.  The partition is a pure
         # function of (trials, jobs), so serial, thread and process runs batch
-        # identically; per-trial seeds make results chunking-invariant anyway.
+        # identically; per-trial seeds (or, in philox mode, per-trial slab
+        # rows) make results chunking-invariant anyway.
         parts = max(backend.jobs, math.ceil(request.trials / _TRIAL_CHUNK_CAP))
         chunks = partition_indices(request.trials, parts)
-        with backend.session():
-            nested = backend.map_tasks(_run_trial_chunk, chunks, shared=shared)
+        if mode == "philox" and request.noise.supports_fused_sampling():
+            # Counter-based fast path: generate the whole study's draws as one
+            # (trials, loss + weight draws) Philox call in the parent, then
+            # ship each chunk its contiguous row slice.  Trial i's draws are
+            # row i regardless of chunking or backend.
+            loss_columns = request.noise.loss_draw_count()
+            weight_columns = sum(
+                request.noise.weight_draw_count(size)
+                for size in _weighted_layer_sizes(request.model)
+            )
+            with stage("rng"):
+                slab = philox_fused_normals(
+                    request.seed,
+                    request.trials,
+                    loss_columns + weight_columns,
+                    dtype=compute_dtype().type,
+                )
+            tasks = [
+                (chunk, slab[chunk[0] : chunk[-1] + 1]) for chunk in chunks
+            ]
+            with backend.session():
+                nested = backend.map_tasks(_run_philox_chunk, tasks, shared=shared)
+        else:
+            with backend.session():
+                nested = backend.map_tasks(_run_trial_chunk, chunks, shared=shared)
         results = [result for chunk_results in nested for result in chunk_results]
     return aggregate_trials(
         tuple(results),

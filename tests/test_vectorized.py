@@ -554,7 +554,10 @@ class TestBenchHarness:
     def test_time_scenario_records_passes_and_stats(self):
         timing = time_scenario("table1_taxonomy", repeats=2, warmup=0)
         assert timing.repeats == 2
-        assert timing.mode == "vectorized"
+        assert timing.mode == "vectorized/seedseq/float64"
+        assert timing.knobs["REPRO_FORWARD"] == "vectorized"
+        assert timing.knobs["REPRO_RNG"] == "seedseq"
+        assert timing.knobs["REPRO_DTYPE"] == "float64"
         assert timing.median_s > 0
         assert timing.p90_s >= timing.median_s >= timing.min_s
         assert len(timing.times_s) == 2
