@@ -8,6 +8,7 @@ paper's evaluation::
     python -m repro batch --smoke             # fast subset, shared cache + store
     python -m repro batch --all --jobs 4      # everything, thread-parallel
     python -m repro batch --all --backend processes --jobs 4   # GIL-free workers
+    python -m repro worker --connect HOST:7621 # join a cluster as a worker
     python -m repro report                    # what is in the result store?
 
 Results are persisted to a content-addressed store (``--store``, default
@@ -33,6 +34,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.bench import (
     DEFAULT_BENCH_PATH,
+    bench_cluster_scaling,
     bench_scenarios,
     check_speedups,
     write_bench_report,
@@ -180,6 +182,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_worker_counts(text: str) -> List[int]:
+    """``"1,2,4"`` -> ``[1, 2, 4]`` with a clean usage error on garbage."""
+    counts: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise SystemExit(
+                f"error: --cluster-workers expects comma-separated counts, got {text!r}"
+            ) from None
+        if value < 1:
+            raise SystemExit(f"error: worker counts must be >= 1, got {value}")
+        counts.append(value)
+    if not counts:
+        raise SystemExit("error: --cluster-workers needs at least one count")
+    return counts
+
+
 def _parse_fail_below(pairs: Sequence[str]) -> Dict[str, float]:
     thresholds: Dict[str, float] = {}
     for pair in pairs:
@@ -195,6 +218,22 @@ def _parse_fail_below(pairs: Sequence[str]) -> Dict[str, float]:
                 f"error: --fail-below factor must be a number, got {factor!r}"
             ) from None
     return thresholds
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec import parse_address, run_worker
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        raise SystemExit(f"error: --connect {exc}") from None
+    return run_worker(
+        host,
+        port,
+        once=args.once,
+        connect_timeout_s=args.connect_timeout_s,
+        quiet=args.quiet,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -224,6 +263,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "error: --fail-below-ref needs a non-reference mode; add "
             "--rng philox and/or --dtype float32"
         )
+    cluster_workers = _parse_worker_counts(args.cluster_workers)
+    if args.cluster and args.cluster not in names:
+        raise SystemExit(
+            f"error: --cluster scenario not selected: {args.cluster}"
+        )
     payload = bench_scenarios(
         names,
         repeats=args.repeats,
@@ -233,12 +277,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rng=args.rng,
         dtype=args.dtype,
     )
+    if args.cluster:
+        payload["cluster_scaling"] = bench_cluster_scaling(
+            args.cluster,
+            worker_counts=cluster_workers,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            params=_parse_params(args.param),
+            rng=args.rng,
+            dtype=args.dtype,
+        )
     rows = []
     for name in names:
         entry = payload["scenarios"][name]
         vec = entry["vectorized"]
         loop = entry.get("loop")
         ref = entry.get("reference")
+        if ref:
+            vs_ref = f"{entry['speedup_vs_reference_median']:.2f}x"
+        elif entry.get("analytic_only"):
+            vs_ref = "analytic"
+        else:
+            vs_ref = "-"
         fractions = vec.get("stage_fractions", {})
         stage_text = " ".join(
             f"{stage}={fractions[stage]:.0%}"
@@ -253,7 +313,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 vec["engine_passes"],
                 f"{loop['median_s'] * 1e3:.1f}" if loop else "-",
                 f"{entry['speedup_median']:.2f}x" if loop else "-",
-                f"{entry['speedup_vs_reference_median']:.2f}x" if ref else "-",
+                vs_ref,
                 stage_text or "-",
             )
         )
@@ -264,6 +324,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if args.cluster:
+        scaling = payload["cluster_scaling"]
+        serial_ms = scaling["serial"]["median_s"] * 1e3
+        print(f"\ncluster scaling for {args.cluster} (serial {serial_ms:.1f} ms):")
+        for count, centry in sorted(
+            scaling["cluster"].items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"  {count} worker(s): {centry['median_s'] * 1e3:.1f} ms "
+                f"({centry['speedup_vs_serial_median']:.2f}x vs serial)"
+            )
     target = write_bench_report(payload, args.output)
     print(f"\nwrote {target}", file=sys.stderr)
     failures = check_speedups(payload, thresholds)
@@ -385,10 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "when --backend names a parallel backend)")
     p_batch.add_argument("--backend", choices=sorted(BACKENDS), default=None,
                          help="execution backend for fresh scenarios: 'serial', "
-                              "'threads' (shared cache, GIL-bound) or 'processes' "
-                              "(GIL-free worker pool; results are byte-identical "
-                              "to a serial run). Default: serial, or threads when "
-                              "--jobs N is given alone")
+                              "'threads' (shared cache, GIL-bound), 'processes' "
+                              "(GIL-free worker pool) or 'cluster' (TCP workers "
+                              "started with `repro worker`; see README). All "
+                              "backends are byte-identical to a serial run. "
+                              "Default: serial, or threads when --jobs N is "
+                              "given alone")
     p_batch.add_argument("--check", action="store_true",
                          help="run shape checks on every freshly computed scenario")
     add_store_args(p_batch)
@@ -434,9 +507,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
                          help="override a scenario parameter for every "
                               "benchmarked scenario (repeatable)")
+    p_bench.add_argument("--cluster", metavar="SCENARIO", default=None,
+                         help="additionally time SCENARIO on localhost clusters "
+                              "(fresh coordinator + spawned workers per count) "
+                              "and record workers-vs-wall-clock scaling in the "
+                              "report's cluster_scaling block")
+    p_bench.add_argument("--cluster-workers", default="1,2", metavar="N,M,...",
+                         help="comma-separated cluster sizes for --cluster "
+                              "(default: 1,2)")
     p_bench.add_argument("--output", default=DEFAULT_BENCH_PATH, metavar="PATH",
                          help=f"report path (default: {DEFAULT_BENCH_PATH})")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a cluster: execute task chunks for a coordinator "
+             "(started by any run/batch using --backend cluster)",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator endpoint (the cluster backend's "
+                               "host/port, default port 7621)")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit after one coordinator session instead of "
+                               "reconnecting for the next one")
+    p_worker.add_argument("--connect-timeout-s", type=float, default=30.0,
+                          metavar="S",
+                          help="give up when no coordinator appears within S "
+                               "seconds (default: 30)")
+    p_worker.add_argument("--quiet", action="store_true",
+                          help="suppress per-session log lines on stderr")
+    p_worker.set_defaults(func=_cmd_worker, no_store=False)
 
     p_report = sub.add_parser("report", help="inspect the persistent result store")
     p_report.add_argument("names", nargs="*",

@@ -3,10 +3,11 @@
 ``repro.exec`` is the one place that knows how to fan work out: the batch
 scenario runner and the design-space explorer both consume
 :class:`ExecutionBackend` instead of hand-rolled executor code, so ``--backend
-{serial,threads,processes} --jobs N`` means the same thing everywhere.  The
-:mod:`~repro.exec.telemetry` helpers keep the accounting (engine passes,
-per-pass wall-clock, cache hit/miss counters) mergeable across process
-boundaries, so reports look identical no matter which backend ran the work.
+{serial,threads,processes,cluster} --jobs N`` means the same thing everywhere.
+The :mod:`~repro.exec.telemetry` helpers keep the accounting (engine passes,
+per-pass wall-clock, cache hit/miss counters) mergeable across process -- and,
+with :mod:`~repro.exec.cluster`, host -- boundaries, so reports look identical
+no matter which backend ran the work.
 """
 
 from repro.exec.backends import (
@@ -15,10 +16,22 @@ from repro.exec.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    applied_env_snapshot,
     available_cpus,
     default_jobs,
     partition_indices,
+    repro_env_snapshot,
     resolve_backend,
+)
+from repro.exec.cluster import (
+    ClusterBackend,
+    ClusterCoordinator,
+    ClusterTaskError,
+    coordinator_for,
+    parse_address,
+    run_worker,
+    shutdown_coordinators,
+    spawn_local_workers,
 )
 from repro.exec.telemetry import (
     scoped_pass_observer,
@@ -33,19 +46,29 @@ from repro.exec.telemetry import (
 
 __all__ = [
     "BACKENDS",
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "ClusterTaskError",
     "ExecutionBackend",
     "PassTiming",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
     "WorkerTelemetry",
+    "applied_env_snapshot",
     "available_cpus",
     "partition_indices",
     "cache_stats_delta",
     "cache_stats_snapshot",
+    "coordinator_for",
     "default_jobs",
     "merge_cache_stats",
     "merge_pass_timings",
+    "parse_address",
     "render_pass_timings",
+    "repro_env_snapshot",
     "resolve_backend",
+    "run_worker",
+    "shutdown_coordinators",
+    "spawn_local_workers",
 ]

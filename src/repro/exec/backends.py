@@ -88,10 +88,64 @@ def partition_indices(count: int, parts: int) -> List[List[int]]:
     return chunks
 
 
+#: Every mode/tuning knob the repro engine reads from the environment shares
+#: this prefix; task-shipping backends snapshot them so worker behaviour is a
+#: function of the task encoding, not of whatever environment the worker
+#: process happens to inherit.
+REPRO_ENV_PREFIX = "REPRO_"
+
+
+def repro_env_snapshot() -> Dict[str, str]:
+    """The parent's ``REPRO_*`` environment, captured at task-encoding time."""
+    return {
+        key: value
+        for key, value in os.environ.items()
+        if key.startswith(REPRO_ENV_PREFIX)
+    }
+
+
+@contextlib.contextmanager
+def applied_env_snapshot(snapshot: Optional[Dict[str, str]]):
+    """Run with the ``REPRO_*`` environment replaced by ``snapshot``.
+
+    ``None`` applies nothing (a pre-snapshot task encoding).  The worker's own
+    ``REPRO_*`` variables are removed for the duration -- the snapshot is the
+    *whole* mode state, so a knob unset in the parent must read as unset on
+    the worker even if the worker's shell exported it.
+    """
+    if snapshot is None:
+        yield
+        return
+    saved = {
+        key: value
+        for key, value in os.environ.items()
+        if key.startswith(REPRO_ENV_PREFIX)
+    }
+    for key in saved:
+        if key not in snapshot:
+            del os.environ[key]
+    os.environ.update(snapshot)
+    try:
+        yield
+    finally:
+        for key in list(os.environ):
+            if key.startswith(REPRO_ENV_PREFIX) and key not in saved:
+                del os.environ[key]
+        os.environ.update(saved)
+
+
 class ExecutionBackend:
     """Maps a task function over a task list with deterministic result order."""
 
     name = "backend"
+
+    #: True for backends whose workers live in other processes (or hosts) and
+    #: therefore receive *encoded* tasks: consumers route such backends through
+    #: their picklable task path (module-level function + encoded context)
+    #: instead of sharing live objects.  The cluster backend sets this too --
+    #: one flag replaces scattered ``isinstance(backend, ProcessBackend)``
+    #: checks.
+    ships_tasks = False
 
     def __init__(self) -> None:
         self._pool: Optional[Executor] = None
@@ -204,6 +258,7 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "processes"
+    ships_tasks = True
 
     def __init__(
         self, jobs: Optional[int] = None, chunksize: Optional[int] = None

@@ -53,11 +53,12 @@ from repro.dataflow.gemm import GEMMWorkload
 from repro.exec import (
     ExecutionBackend,
     PassTiming,
-    ProcessBackend,
     WorkerTelemetry,
+    applied_env_snapshot,
     cache_stats_delta,
     cache_stats_snapshot,
     merge_cache_stats,
+    repro_env_snapshot,
     resolve_backend,
     scoped_pass_observer,
 )
@@ -286,6 +287,10 @@ class _DesignTaskContext:
     cache_enabled: bool
     cache_max_entries: Optional[int]
     accuracy: Optional[AccuracyRequest] = None
+    #: Parent ``REPRO_*`` environment at encoding time, applied around every
+    #: task so cluster workers on other hosts evaluate under the parent's
+    #: forward/RNG/dtype modes, not their own shell's.
+    env: Optional[Dict[str, str]] = None
 
 
 @dataclass
@@ -332,7 +337,9 @@ def _evaluate_design_task(
     cache = explorer.cache
     stats_before = cache_stats_snapshot(cache)
     telemetry = WorkerTelemetry()
-    with observe_passes(scoped_pass_observer(cache, telemetry)):
+    with applied_env_snapshot(shared.env), observe_passes(
+        scoped_pass_observer(cache, telemetry)
+    ):
         point = explorer.evaluate(dict(overrides))
     telemetry.cache_stats = cache_stats_delta(cache, stats_before)
     return _DesignTaskOutcome(point=point, telemetry=telemetry)
@@ -515,6 +522,7 @@ class DesignSpaceExplorer:
             cache_enabled=self.cache.enabled,
             cache_max_entries=self.cache.max_entries,
             accuracy=accuracy,
+            env=repro_env_snapshot(),
         )
 
     # -- exploration loop ------------------------------------------------------------
@@ -541,7 +549,7 @@ class DesignSpaceExplorer:
         workers = max_workers if max_workers is not None else self.max_workers
         spec = backend if backend is not None else self._backend_spec
         exec_backend: ExecutionBackend = resolve_backend(spec, workers)
-        use_processes = isinstance(exec_backend, ProcessBackend)
+        use_processes = exec_backend.ships_tasks
         context = self._process_context() if use_processes else None
         space_size = space.size()
 

@@ -56,14 +56,56 @@ DTYPE_MODE_ENV = "REPRO_DTYPE"
 
 _DTYPE_MODES = ("float64", "float32")
 
+#: Thread-local mode override installed by :func:`pinned_modes`.  Worker-bound
+#: task encodings (Monte Carlo trial contexts, batch/DSE task payloads) carry
+#: the modes they were dispatched under and pin them around execution, so a
+#: process or cluster worker computes under the *parent's* modes regardless of
+#: its own environment.
+_MODE_OVERRIDE = threading.local()
+
+
+@contextlib.contextmanager
+def pinned_modes(forward: Optional[str] = None, dtype: Optional[str] = None):
+    """Run with :func:`forward_mode` / :func:`dtype_mode` pinned to these values.
+
+    ``None`` leaves that mode reading the environment as usual.  The override
+    is thread-local and restores the previous pin on exit, so nested pins and
+    concurrent thread-backend workers stay independent.  Invalid mode names
+    fail loudly here, at pin time, not deep inside a forward.
+    """
+    if forward is not None and forward not in _FORWARD_MODES:
+        raise ValueError(
+            f"forward mode must be one of {', '.join(_FORWARD_MODES)}, "
+            f"got {forward!r}"
+        )
+    if dtype is not None and dtype not in _DTYPE_MODES:
+        raise ValueError(
+            f"dtype mode must be one of {', '.join(_DTYPE_MODES)}, got {dtype!r}"
+        )
+    previous_forward = getattr(_MODE_OVERRIDE, "forward", None)
+    previous_dtype = getattr(_MODE_OVERRIDE, "dtype", None)
+    if forward is not None:
+        _MODE_OVERRIDE.forward = forward
+    if dtype is not None:
+        _MODE_OVERRIDE.dtype = dtype
+    try:
+        yield
+    finally:
+        _MODE_OVERRIDE.forward = previous_forward
+        _MODE_OVERRIDE.dtype = previous_dtype
+
 
 def forward_mode() -> str:
     """The active forward path: ``"vectorized"`` (default) or ``"loop"``.
 
-    Read from ``$REPRO_FORWARD`` on every call so tests and benchmarks can flip
-    the path without re-importing; unknown values fail loudly rather than
-    silently timing the wrong implementation.
+    A :func:`pinned_modes` override (task encodings shipped to workers) wins;
+    otherwise read from ``$REPRO_FORWARD`` on every call so tests and
+    benchmarks can flip the path without re-importing.  Unknown values fail
+    loudly rather than silently timing the wrong implementation.
     """
+    pinned = getattr(_MODE_OVERRIDE, "forward", None)
+    if pinned is not None:
+        return pinned
     mode = os.environ.get(FORWARD_MODE_ENV, "vectorized").strip().lower()
     if mode not in _FORWARD_MODES:
         raise ValueError(
@@ -76,11 +118,15 @@ def forward_mode() -> str:
 def dtype_mode() -> str:
     """The active batched-compute precision: ``"float64"`` or ``"float32"``.
 
-    Like :func:`forward_mode`, read from ``$REPRO_DTYPE`` on every call.  The
-    float32 mode applies to the *trial-batched* Monte Carlo path only; the
-    serial reference forwards always compute in float64, and committed tables
-    are only reproduced in the default mode.
+    Like :func:`forward_mode`, a :func:`pinned_modes` override wins, then
+    ``$REPRO_DTYPE`` is read on every call.  The float32 mode applies to the
+    *trial-batched* Monte Carlo path only; the serial reference forwards
+    always compute in float64, and committed tables are only reproduced in
+    the default mode.
     """
+    pinned = getattr(_MODE_OVERRIDE, "dtype", None)
+    if pinned is not None:
+        return pinned
     mode = os.environ.get(DTYPE_MODE_ENV, "float64").strip().lower()
     if mode not in _DTYPE_MODES:
         raise ValueError(

@@ -35,11 +35,12 @@ from repro.core.report import format_table
 from repro.exec import (
     ExecutionBackend,
     PassTiming,
-    ProcessBackend,
     WorkerTelemetry,
+    applied_env_snapshot,
     cache_stats_delta,
     cache_stats_snapshot,
     render_pass_timings,
+    repro_env_snapshot,
     resolve_backend,
     scoped_pass_observer,
 )
@@ -133,10 +134,17 @@ class BatchReport:
 
 @dataclass(frozen=True)
 class _ProcessBatchContext:
-    """Picklable per-batch context shipped to every worker chunk."""
+    """Picklable per-batch context shipped to every worker chunk.
+
+    ``env`` snapshots the parent's ``REPRO_*`` environment at encoding time:
+    process-pool workers inherit the parent env anyway, but cluster workers
+    may live on another host with a different shell environment, and the
+    scenario tables must be a function of the *parent's* modes.
+    """
 
     store_root: Optional[str]
     force: bool
+    env: Optional[Dict[str, str]] = None
 
 
 @dataclass
@@ -171,7 +179,9 @@ def _run_batch_task(shared: _ProcessBatchContext, name: str) -> _BatchTaskOutcom
     stats_before = cache_stats_snapshot(cache)
     telemetry = WorkerTelemetry()
     start = time.perf_counter()
-    with observe_passes(scoped_pass_observer(cache, telemetry)):
+    with applied_env_snapshot(shared.env), observe_passes(
+        scoped_pass_observer(cache, telemetry)
+    ):
         try:
             result = REGISTRY.run(name, cache=cache, store=store, force=shared.force)
             # extras hold live objects (simulation results, floorplans) that are
@@ -214,18 +224,18 @@ class BatchRunner:
         if jobs is None:
             jobs = max_workers
         self.backend: ExecutionBackend = resolve_backend(backend, jobs)
-        if isinstance(self.backend, ProcessBackend):
+        if self.backend.ships_tasks:
             if registry is not REGISTRY:
                 raise ValueError(
-                    "the process backend runs scenarios from the module-global "
-                    "registry (workers re-import it); custom registries need "
-                    "the serial or thread backend"
+                    f"the {self.backend.name} backend runs scenarios from the "
+                    "module-global registry (workers re-import it); custom "
+                    "registries need the serial or thread backend"
                 )
             if cache is not None:
                 raise ValueError(
-                    "the process backend cannot share an in-memory evaluation "
-                    "cache across workers (each worker keeps its own); pass "
-                    "cache= only with the serial or thread backend"
+                    f"the {self.backend.name} backend cannot share an in-memory "
+                    "evaluation cache across workers (each worker keeps its "
+                    "own); pass cache= only with the serial or thread backend"
                 )
         self.registry = registry
         self.store = store
@@ -298,6 +308,7 @@ class BatchRunner:
         shared = _ProcessBatchContext(
             store_root=str(self.store.root) if self.store is not None else None,
             force=self.force,
+            env=repro_env_snapshot(),
         )
         outcomes = self.backend.map_tasks(_run_batch_task, to_run, shared=shared)
         computed: Dict[str, BatchItem] = {}
@@ -318,7 +329,7 @@ class BatchRunner:
         for name in names:
             self.registry.get(name)  # fail fast with the actionable message
         start = time.perf_counter()
-        if isinstance(self.backend, ProcessBackend):
+        if self.backend.ships_tasks:
             items, telemetry = self._run_processes(names)
         else:
             items, telemetry = self._run_inprocess(names)

@@ -26,7 +26,14 @@ import numpy as np
 from repro.core.cache import digest, memoized_fingerprint
 from repro.core.snr import SNRAnalyzer, SNRReport
 from repro.exec import partition_indices, resolve_backend
-from repro.onn.layers import Module, compute_dtype, forward_mode, scratch_workspace
+from repro.onn.layers import (
+    Module,
+    compute_dtype,
+    dtype_mode,
+    forward_mode,
+    pinned_modes,
+    scratch_workspace,
+)
 from repro.variation.accuracy import (
     AccuracyReport,
     TrialResult,
@@ -168,10 +175,22 @@ class _TrialContext:
     #: context (not re-read from the environment) so process-pool workers run
     #: the same mode as the parent regardless of env propagation.
     rng_mode: str = "seedseq"
+    #: Forward-path and compute-precision modes, resolved at dispatch time for
+    #: the same reason: a process (or cluster) worker pins these around the
+    #: trial via :func:`repro.onn.layers.pinned_modes`, so flipping
+    #: ``REPRO_FORWARD``/``REPRO_DTYPE`` after task encoding -- or running a
+    #: worker under a different shell environment -- cannot change results.
+    forward_mode: str = "vectorized"
+    dtype_mode: str = "float64"
 
 
 def _run_trial(shared: _TrialContext, trial: int) -> TrialResult:
     """One Monte Carlo trial: a pure function of the shared context and its index."""
+    with pinned_modes(shared.forward_mode, shared.dtype_mode):
+        return _run_trial_pinned(shared, trial)
+
+
+def _run_trial_pinned(shared: _TrialContext, trial: int) -> TrialResult:
     rng = make_trial_rng(shared.seed, trial, shared.rng_mode)
     extra_loss_db = shared.spec.sample_loss_db(rng)
     if shared.link is not None:
@@ -207,6 +226,13 @@ def _run_trial_chunk(shared: _TrialContext, trials: List[int]) -> List[TrialResu
     one batched numpy pass per layer per resolved-bits group instead of
     ``len(trials)`` full model clones.
     """
+    with pinned_modes(shared.forward_mode, shared.dtype_mode):
+        return _run_trial_chunk_pinned(shared, trials)
+
+
+def _run_trial_chunk_pinned(
+    shared: _TrialContext, trials: List[int]
+) -> List[TrialResult]:
     with stage("rng"):
         rngs = [make_trial_rng(shared.seed, trial, shared.rng_mode) for trial in trials]
         losses = [shared.spec.sample_loss_db(rng) for rng in rngs]
@@ -269,6 +295,13 @@ def _run_philox_chunk(
     slices of one matrix, which is what makes this mode's RNG cost nearly
     independent of the trial count.
     """
+    with pinned_modes(shared.forward_mode, shared.dtype_mode):
+        return _run_philox_chunk_pinned(shared, task)
+
+
+def _run_philox_chunk_pinned(
+    shared: _TrialContext, task: Tuple[List[int], np.ndarray]
+) -> List[TrialResult]:
     trials, draws = task
     loss_columns = shared.spec.loss_draw_count()
     with stage("rng"):
@@ -342,6 +375,12 @@ def run_monte_carlo(
             effective_bits=nominal_bits,
         )
     mode = active_rng_mode()
+    # Every mode is resolved HERE, at dispatch time, and carried in the task
+    # context: workers pin them around each trial, so neither later env flips
+    # in this process nor a remote worker's own environment can change what a
+    # dispatched study computes.
+    fwd_mode = forward_mode()
+    dt_mode = dtype_mode()
     shared = _TrialContext(
         model=request.model,
         inputs=request.inputs,
@@ -353,9 +392,11 @@ def run_monte_carlo(
         seed=request.seed,
         link=link,
         rng_mode=mode,
+        forward_mode=fwd_mode,
+        dtype_mode=dt_mode,
     )
     backend = resolve_backend(request.backend, request.jobs)
-    if forward_mode() == "loop":
+    if fwd_mode == "loop":
         # Legacy reference path: one task per trial, full model clone each.
         with backend.session():
             results = backend.map_tasks(

@@ -32,6 +32,7 @@ from repro.exec import (
     ThreadBackend,
     merge_cache_stats,
     merge_pass_timings,
+    partition_indices,
     resolve_backend,
 )
 from repro.explore import DesignPoint, DesignSpace, DesignSpaceExplorer, pareto_front
@@ -187,10 +188,13 @@ class TestResolveBackend:
         assert backend.jobs == 4
 
     def test_names_construct_their_backend(self):
-        assert set(BACKENDS) == {"serial", "threads", "processes"}
+        assert set(BACKENDS) == {"serial", "threads", "processes", "cluster"}
         assert isinstance(resolve_backend("serial", jobs=8), SerialBackend)
         assert resolve_backend("threads", jobs=3).jobs == 3
         assert resolve_backend("processes", jobs=2).jobs == 2
+        # Constructing the cluster backend must not open any socket yet: the
+        # coordinator starts lazily on the first map_tasks call.
+        assert resolve_backend("cluster", jobs=2).jobs == 2
 
     def test_instance_passthrough(self):
         backend = ThreadBackend(2)
@@ -226,6 +230,65 @@ class TestTelemetryMerging:
             [{"map": CacheStats(hits=2, misses=1)}, {"map": CacheStats(hits=0, misses=4)}]
         )
         assert (merged["map"].hits, merged["map"].misses) == (2, 5)
+
+    def test_merge_pass_timings_is_associative_and_order_independent(self):
+        """Cluster merges fold telemetry in worker-completion order, which is
+        nondeterministic -- the merge must not care how deltas are grouped."""
+        a = {"map": PassTiming(count=2, total_s=0.5)}
+        b = {"map": PassTiming(count=1, total_s=0.25), "area": PassTiming(1, 0.1)}
+        c = {"area": PassTiming(count=3, total_s=0.3), "link": PassTiming(2, 0.2)}
+
+        def flatten(timings):
+            return {k: (v.count, pytest.approx(v.total_s)) for k, v in timings.items()}
+
+        left = merge_pass_timings([merge_pass_timings([a, b]), c])
+        right = merge_pass_timings([a, merge_pass_timings([b, c])])
+        flat = merge_pass_timings([a, b, c])
+        reversed_order = merge_pass_timings([c, b, a])
+        assert flatten(left) == flatten(flat)
+        assert flatten(right) == flatten(flat)
+        assert flatten(reversed_order) == flatten(flat)
+
+    def test_merge_cache_stats_is_associative_and_order_independent(self):
+        from repro.core.cache import CacheStats
+
+        a = {"map": CacheStats(hits=2, misses=1)}
+        b = {"map": CacheStats(hits=1, misses=0), "area": CacheStats(hits=3, misses=2)}
+        c = {"area": CacheStats(hits=0, misses=5)}
+
+        def flatten(stats):
+            return {k: (v.hits, v.misses) for k, v in stats.items()}
+
+        flat = merge_cache_stats([a, b, c])
+        assert flatten(merge_cache_stats([merge_cache_stats([a, b]), c])) == flatten(flat)
+        assert flatten(merge_cache_stats([a, merge_cache_stats([b, c])])) == flatten(flat)
+        assert flatten(merge_cache_stats([c, b, a])) == flatten(flat)
+
+
+class TestPartitionIndices:
+    def test_empty_task_list_has_no_chunks(self):
+        assert partition_indices(0, 4) == []
+
+    def test_more_workers_than_tasks_yields_one_chunk_per_task(self):
+        chunks = partition_indices(3, 8)
+        assert chunks == [[0], [1], [2]]
+
+    def test_single_task_single_chunk(self):
+        assert partition_indices(1, 1) == [[0]]
+        assert partition_indices(1, 16) == [[0]]
+
+    def test_chunks_are_contiguous_and_complete(self):
+        for count, parts in [(10, 3), (7, 7), (5, 2), (64, 5)]:
+            chunks = partition_indices(count, parts)
+            assert [i for chunk in chunks for i in chunk] == list(range(count))
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_arguments_are_loud(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_indices(-1, 2)
+        with pytest.raises(ValueError, match="positive"):
+            partition_indices(4, 0)
 
 
 # -- scoped pass observation ------------------------------------------------------------

@@ -380,30 +380,52 @@ class TestScenarioChecksAcrossModes:
 
 class TestBenchModeMatrix:
     def test_non_reference_mode_records_reference_comparison(self):
+        # variation_robustness has Monte Carlo stage work, so the non-default
+        # modes actually diverge from the reference and the comparison is
+        # meaningful (analytic-only scenarios skip it -- see below).
         payload = bench_scenarios(
-            ["table1_taxonomy"], repeats=1, warmup=0, rng="philox", dtype="float32"
+            ["variation_robustness"], repeats=1, warmup=0, rng="philox",
+            dtype="float32",
         )
-        entry = payload["scenarios"]["table1_taxonomy"]
+        entry = payload["scenarios"]["variation_robustness"]
+        assert entry["analytic_only"] is False
         assert entry["vectorized"]["knobs"]["REPRO_RNG"] == "philox"
         assert entry["vectorized"]["knobs"]["REPRO_DTYPE"] == "float32"
         assert entry["reference"]["knobs"]["REPRO_RNG"] == "seedseq"
         assert entry["reference"]["knobs"]["REPRO_DTYPE"] == "float64"
         assert entry["speedup_vs_reference_median"] > 0
         assert check_speedups(
-            payload, {"table1_taxonomy": 0.0}, key="speedup_vs_reference_median"
+            payload, {"variation_robustness": 0.0}, key="speedup_vs_reference_median"
         ) == []
         failures = check_speedups(
-            payload, {"table1_taxonomy": 1e9}, key="speedup_vs_reference_median"
+            payload, {"variation_robustness": 1e9}, key="speedup_vs_reference_median"
         )
         assert failures and "below" in failures[0]
 
-    def test_reference_mode_has_no_reference_block(self):
-        payload = bench_scenarios(["table1_taxonomy"], repeats=1, warmup=0)
+    def test_analytic_scenario_skips_reference_comparison(self):
+        # table1_taxonomy runs no Monte Carlo stages, so a reference-mode
+        # rerun would measure pure timer jitter; the entry is flagged
+        # analytic_only, no reference block or ratio is recorded, and a
+        # --fail-below-ref gate on it fails deterministically.
+        payload = bench_scenarios(
+            ["table1_taxonomy"], repeats=1, warmup=0, rng="philox", dtype="float32"
+        )
         entry = payload["scenarios"]["table1_taxonomy"]
+        assert entry["analytic_only"] is True
         assert "reference" not in entry
+        assert "speedup_vs_reference_median" not in entry
         failures = check_speedups(
             payload, {"table1_taxonomy": 1.0}, key="speedup_vs_reference_median"
         )
+        assert len(failures) == 1 and "analytic-only" in failures[0]
+
+    def test_reference_mode_has_no_reference_block(self):
+        payload = bench_scenarios(["variation_robustness"], repeats=1, warmup=0)
+        entry = payload["scenarios"]["variation_robustness"]
+        assert "reference" not in entry
+        failures = check_speedups(
+            payload, {"variation_robustness": 1.0}, key="speedup_vs_reference_median"
+        )
         assert failures == [
-            "table1_taxonomy: no reference-mode comparison recorded"
+            "variation_robustness: no reference-mode comparison recorded"
         ]
