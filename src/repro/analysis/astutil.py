@@ -1,0 +1,99 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The chain as a tuple (``("a", "b", "c")``), else ``None``."""
+    name = dotted_name(node)
+    return tuple(name.split(".")) if name else None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local binding -> imported dotted path, for whole-module imports.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from os import
+    environ`` yields ``{"environ": "os.environ"}``.  Only module-level import
+    statements are considered -- enough to canonicalise the idioms the rules
+    match on.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_dotted(name: str, aliases: Dict[str, str]) -> str:
+    """Canonicalise the chain's first segment through the import aliases."""
+    head, _, rest = name.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return name
+    return f"{target}.{rest}" if rest else target
+
+
+def call_name(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """The resolved dotted name a call dispatches to, else ``None``."""
+    name = dotted_name(node.func)
+    return resolve_dotted(name, aliases) if name else None
+
+
+def string_arg(node: ast.Call, index: int = 0) -> Optional[str]:
+    """The call's ``index``-th positional argument when it is a string literal."""
+    if len(node.args) > index:
+        arg = node.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def docstring_constants(tree: ast.Module) -> set:
+    """Line numbers of module/class/function docstring expressions."""
+    lines = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                start = body[0].value.lineno
+                end = getattr(body[0].value, "end_lineno", start) or start
+                lines.update(range(start, end + 1))
+    return lines
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every (possibly nested) function/lambda definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node

@@ -1,0 +1,80 @@
+"""Rule protocol and the process-wide rule registry."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.walker import ModuleInfo
+
+
+class Rule:
+    """One static check.  Subclass, set ``rule_id``/``title``, override hooks.
+
+    ``check_module`` sees one parsed module at a time; ``finalize`` runs once
+    after every module has been visited, for cross-module checks (e.g. R003's
+    registry cross-reference).  Both return findings; the runner handles
+    suppression pragmas and ordering.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        return []
+
+    def finalize(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        return []
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        message: str,
+        suggestion: str = "",
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            file=module.effective_path,
+            line=line,
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+# Guarded: rule modules register at import time, and nothing stops an embedder
+# from importing them from multiple threads -- the registry itself must honour
+# the R005 contract it enforces.
+_RULES_LOCK = threading.Lock()
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator declaring a rule.  Idempotent per (id, class)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} must set rule_id")
+    with _RULES_LOCK:
+        existing = _RULES.get(cls.rule_id)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"rule id {cls.rule_id} already registered by {existing.__name__}"
+            )
+        _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Fresh instances of every registered rule, ordered by rule id."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-in rules)
+
+    with _RULES_LOCK:
+        classes = [_RULES[rule_id] for rule_id in sorted(_RULES)]
+    return tuple(cls() for cls in classes)
+
+
+def rule_ids() -> Tuple[str, ...]:
+    import repro.analysis.rules  # noqa: F401
+
+    with _RULES_LOCK:
+        return tuple(sorted(_RULES))

@@ -1,0 +1,72 @@
+"""Baseline files: adopt existing findings without letting new ones in.
+
+A baseline is a JSON list of (rule, file, message) triples.  ``repro lint
+--baseline FILE`` subtracts matching findings from the report; anything not in
+the baseline is *new* and fails the build, and any baseline entry that no
+longer matches a finding is *expired* and also fails the build -- the fix must
+land together with its baseline removal, so the file ratchets monotonically
+toward empty instead of accumulating dead entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> List[BaselineKey]:
+    """The baseline's (rule, file, message) keys, in file order."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    entries = payload.get("entries", [])
+    keys: List[BaselineKey] = []
+    for entry in entries:
+        try:
+            keys.append((entry["rule"], entry["file"], entry["message"]))
+        except (TypeError, KeyError):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}") from None
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Rewrite the baseline to exactly the given findings (sorted, deduped)."""
+    keys = sorted({f.baseline_key() for f in findings})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule, "file": file, "message": message}
+            for rule, file, message in keys
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[BaselineKey]
+) -> Tuple[List[Finding], List[BaselineKey]]:
+    """(new findings, expired baseline entries).
+
+    A baseline entry absorbs every finding with its key (duplicate findings on
+    different lines of one file collapse into one entry); an entry matching
+    nothing is expired.
+    """
+    baseline_set = set(baseline)
+    new = [f for f in findings if f.baseline_key() not in baseline_set]
+    matched: Dict[BaselineKey, bool] = {key: False for key in baseline_set}
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in matched:
+            matched[key] = True
+    expired = sorted(key for key, hit in matched.items() if not hit)
+    return new, expired

@@ -1,0 +1,9 @@
+"""Built-in lint rules.  Importing this package registers R001-R005."""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    env_knobs,
+    fingerprints,
+    frozen_state,
+    picklability,
+)

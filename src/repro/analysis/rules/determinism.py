@@ -1,0 +1,152 @@
+"""R001: no unseeded randomness or wall-clock reads in numerics code.
+
+Scope: the packages whose outputs are contractually bit-reproducible
+(``core``, ``variation``, ``onn``, ``dataflow``).  Seeded construction
+(``np.random.default_rng(seed)``, ``SeedSequence``, ``PCG64``, ``Philox``,
+``random.Random(seed)``) is fine; drawing from process-global RNG state or
+reading the wall clock is not -- both make results a function of *when* and
+*where* the code ran instead of the task encoding.  Monotonic timers
+(``perf_counter``/``monotonic``/``process_time``) are exempt: they feed
+telemetry, not numerics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis import astutil
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.walker import ModuleInfo
+
+_SCOPE_DIRS = ("core", "variation", "onn", "dataflow")
+
+#: Global-state draws on numpy's legacy module-level RNG.
+_NUMPY_GLOBAL = {
+    f"numpy.random.{fn}"
+    for fn in (
+        "seed",
+        "rand",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "standard_normal",
+        "normal",
+        "uniform",
+        "randint",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "binomial",
+        "exponential",
+        "lognormal",
+        "get_state",
+        "set_state",
+    )
+}
+
+#: Module-level draws on the stdlib's process-global Mersenne Twister.
+_STDLIB_GLOBAL = {
+    f"random.{fn}"
+    for fn in (
+        "seed",
+        "random",
+        "uniform",
+        "triangular",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    )
+}
+
+#: Wall-clock reads (zero-arg or otherwise): results must not depend on these.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Inherently nondeterministic identifiers.
+_NONDETERMINISTIC = {"uuid.uuid1", "uuid.uuid4"}
+
+#: Constructors that are fine when given entropy, unseeded otherwise.
+_NEEDS_SEED = {"numpy.random.default_rng", "random.Random"}
+
+
+@register_rule
+class DeterminismRule(Rule):
+    rule_id = "R001"
+    title = "unseeded randomness / wall-clock in numerics code"
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_package_dirs(_SCOPE_DIRS):
+            return []
+        aliases = astutil.import_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = astutil.call_name(node, aliases)
+            if name is None:
+                continue
+            if name in _NUMPY_GLOBAL or name in _STDLIB_GLOBAL:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"global-RNG draw {name}() in deterministic code",
+                        "derive a generator from an explicit seed "
+                        "(repro.variation.sampler)",
+                    )
+                )
+            elif name in _WALL_CLOCK:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"wall-clock read {name}() in deterministic code",
+                        "pass timestamps in explicitly; perf_counter/monotonic "
+                        "are fine for telemetry",
+                    )
+                )
+            elif name in _NONDETERMINISTIC:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"nondeterministic identifier {name}()",
+                        "derive identifiers from the task fingerprint",
+                    )
+                )
+            elif name in _NEEDS_SEED and not node.args and not node.keywords:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"unseeded {name}() (OS-entropy seeded)",
+                        "pass an explicit seed or SeedSequence",
+                    )
+                )
+        return findings

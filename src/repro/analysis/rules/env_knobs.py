@@ -1,0 +1,160 @@
+"""R003: every ``REPRO_*`` environment knob is declared and read via the registry.
+
+Three checks:
+
+- **raw reads** -- ``os.environ.get("REPRO_X")`` / ``os.environ["REPRO_X"]`` /
+  ``os.getenv("REPRO_X")`` anywhere outside :mod:`repro.core.knobs` bypasses
+  the registry (and therefore the task-encoding snapshot that pins knobs into
+  shipped workers);
+- **registry cross-check** (project-level) -- an exact ``REPRO_*`` string
+  literal in package code that no ``register(...)`` call in ``knobs.py``
+  declares is a registry gap: the knob would be snapshotted only by the
+  prefix safety net, untyped and undocumented;
+- **hand-maintained snapshots** -- ``REPRO_*`` literals inside any function
+  named ``repro_env_snapshot`` mean the snapshot drifted back to a hand list
+  (the PR-7 bug class) instead of deriving from the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis import astutil
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.walker import ModuleInfo
+
+KNOBS_MODULE = "repro/core/knobs.py"
+
+#: An exact knob name: the prefix plus at least one identifier character.
+_KNOB_NAME_RE = re.compile(r"REPRO_[A-Z0-9_]+\Z")
+
+_RAW_READ_CALLS = {
+    "os.environ.get",
+    "os.environ.pop",
+    "os.environ.setdefault",
+    "os.getenv",
+}
+
+
+def _knob_literal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if _KNOB_NAME_RE.match(node.value):
+            return node.value
+    return None
+
+
+def _registered_names(knobs_module: ModuleInfo) -> Set[str]:
+    """Knob names declared by ``register("REPRO_X", ...)`` calls, statically."""
+    names: Set[str] = set()
+    for node in ast.walk(knobs_module.tree):
+        if isinstance(node, ast.Call):
+            callee = astutil.dotted_name(node.func) or ""
+            if callee.split(".")[-1] == "register":
+                name = astutil.string_arg(node)
+                if name and _KNOB_NAME_RE.match(name):
+                    names.add(name)
+    return names
+
+
+@register_rule
+class EnvKnobRule(Rule):
+    rule_id = "R003"
+    title = "REPRO_* knob bypasses the repro.core.knobs registry"
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        if module.repro_relative() == KNOBS_MODULE:
+            return []
+        aliases = astutil.import_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = astutil.call_name(node, aliases)
+                if name in _RAW_READ_CALLS:
+                    knob = _knob_literal(node.args[0]) if node.args else None
+                    if knob:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                f"raw environment read of {knob} via {name}",
+                                "read knobs through repro.core.knobs "
+                                "(raw_value/value)",
+                            )
+                        )
+            elif isinstance(node, ast.Subscript):
+                target = astutil.dotted_name(node.value)
+                if target and astutil.resolve_dotted(target, aliases) == "os.environ":
+                    knob = _knob_literal(node.slice)
+                    if knob:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node.lineno,
+                                f"raw environment access os.environ[{knob!r}]",
+                                "read knobs through repro.core.knobs; pin them "
+                                "with knobs.forced_env",
+                            )
+                        )
+        findings.extend(self._hand_maintained_snapshot(module))
+        return findings
+
+    def _hand_maintained_snapshot(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "repro_env_snapshot"
+            ):
+                doc_lines = astutil.docstring_constants(module.tree)
+                for sub in ast.walk(node):
+                    knob = _knob_literal(sub)
+                    if knob and sub.lineno not in doc_lines:
+                        findings.append(
+                            self.finding(
+                                module,
+                                sub.lineno,
+                                f"hand-maintained knob literal {knob} inside "
+                                "repro_env_snapshot",
+                                "derive the snapshot from the registry "
+                                "(knobs.all_knobs)",
+                            )
+                        )
+        return findings
+
+    def finalize(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        knobs_module = next(
+            (m for m in modules if m.repro_relative() == KNOBS_MODULE), None
+        )
+        if knobs_module is None:
+            return []
+        registered = _registered_names(knobs_module)
+        findings: List[Finding] = []
+        for module in modules:
+            relative = module.repro_relative()
+            if relative is None or relative == KNOBS_MODULE:
+                continue
+            doc_lines = astutil.docstring_constants(module.tree)
+            seen: Set[str] = set()
+            for node in ast.walk(module.tree):
+                knob = _knob_literal(node)
+                if (
+                    knob
+                    and knob not in registered
+                    and knob not in seen
+                    and node.lineno not in doc_lines
+                    and not module.suppressed(self.rule_id, node.lineno)
+                ):
+                    seen.add(knob)
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"unregistered knob literal {knob}",
+                            "declare it with register(...) in "
+                            "repro/core/knobs.py",
+                        )
+                    )
+        return findings

@@ -1,0 +1,277 @@
+"""R002: memoized engine passes must key on everything their compute reads.
+
+Scope: ``repro/core/engine.py`` -- the only module that calls
+``cache.get_or_compute``.  For each call site the rule compares two sets:
+
+- the **key surface**: every name/attribute chain reachable from the key
+  expression, with one level of local-assignment expansion (``bits = (arch
+  .config.input_bits, ...)`` contributes the ``arch.config.*`` chains when
+  ``bits`` appears in the key);
+- the **read surface**: every enclosing-scope variable the compute closure
+  (lambda or nested ``def``) actually reads.
+
+A read is covered when some key chain is a prefix of it (or vice versa) --
+``link`` in the key covers ``link.analyzer`` in the body -- with two
+deliberate outs: chains rooted at ``self``/``cls``/``engine`` are structural
+(the pass object, not per-evaluation data) unless they reach through
+``.config.``, and chains traversing ``.config.`` match by leaf-attribute name
+(the config value, not its access path, is what the key must pin).  Anything
+left uncovered is a stale-cache hazard: two evaluation contexts differing
+only in that value would serve each other's memoized result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import astutil
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.walker import ModuleInfo
+
+Chain = Tuple[str, ...]
+
+_STRUCTURAL_ROOTS = {"self", "cls", "engine"}
+
+
+def _chains(node: ast.AST) -> Set[Chain]:
+    """Top-level Name/Attribute chains inside ``node``.
+
+    Strict: ``ctx.snr_reports`` contributes only ``("ctx", "snr_reports")``,
+    never the bare ``("ctx",)`` -- a key that pins one attribute of an object
+    must not silently cover every other attribute of it.
+    """
+    found: Set[Chain] = set()
+
+    class Collector(ast.NodeVisitor):
+        def visit_Attribute(self, sub: ast.Attribute) -> None:
+            chain = astutil.attribute_chain(sub)
+            if chain:
+                found.add(chain)
+            else:
+                # e.g. call(...).attr: no usable root, keep walking inside.
+                self.generic_visit(sub)
+
+        def visit_Name(self, sub: ast.Name) -> None:
+            found.add((sub.id,))
+
+    Collector().visit(node)
+    return found
+
+
+def _assigned_names(node: ast.AST) -> Set[str]:
+    """Every name bound anywhere inside ``node`` (assignments, loops,
+    comprehensions, ``with`` targets, exception handlers, function params)."""
+    bound: Set[str] = set()
+
+    def bind_target(target: ast.AST) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                bound.add(sub.id)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                bind_target(target)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            bind_target(sub.target)
+        elif isinstance(sub, ast.comprehension):
+            bind_target(sub.target)
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    bind_target(item.optional_vars)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(sub.name)
+            args = sub.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ):
+                bound.add(arg.arg)
+        elif isinstance(sub, ast.Lambda):
+            args = sub.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ):
+                bound.add(arg.arg)
+    return bound
+
+
+def _function_params(node: ast.AST) -> Set[str]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return set()
+    args = node.args
+    names = {a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _local_assignments(fn: ast.AST) -> Dict[str, ast.AST]:
+    """name -> assigned expression for simple assignments in ``fn``'s own body
+    (nested function bodies excluded -- those are the compute closures)."""
+    assigns: Dict[str, ast.AST] = {}
+
+    def visit(statements: Sequence[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    assigns[stmt.target.id] = stmt.value
+            for child_body in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, child_body, None)
+                if nested:
+                    visit(nested)
+
+    visit(fn.body)
+    return assigns
+
+
+def _prefix_covered(read: Chain, keys: Set[Chain]) -> bool:
+    for key in keys:
+        shorter = min(len(read), len(key))
+        if read[:shorter] == key[:shorter]:
+            return True
+    return False
+
+
+@register_rule
+class FingerprintRule(Rule):
+    rule_id = "R002"
+    title = "memoized pass key omits a value its compute reads"
+
+    def check_module(self, module: ModuleInfo) -> List[Finding]:
+        if module.repro_relative() != "repro/core/engine.py":
+            return []
+        findings: List[Finding] = []
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for call in ast.walk(fn):
+                if not isinstance(call, ast.Call):
+                    continue
+                if not (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "get_or_compute"
+                ):
+                    continue
+                if len(call.args) < 3:
+                    continue
+                findings.extend(self._check_site(module, fn, call))
+        return findings
+
+    def _check_site(
+        self, module: ModuleInfo, fn: ast.AST, call: ast.Call
+    ) -> List[Finding]:
+        key_expr, compute_arg = call.args[1], call.args[2]
+        compute = self._resolve_compute(fn, compute_arg)
+        if compute is None:
+            return []
+        local_assigns = _local_assignments(fn)
+        enclosing_data = set(local_assigns) | _function_params(fn)
+
+        # Key surface: expand bare local names through their assignments to a
+        # fixpoint, so `key = (h(netlist), items)` with `netlist = arch.x`
+        # credits the key with the `arch` chains it actually derives from.
+        key_chains = _chains(key_expr)
+        expanded: Set[str] = set()
+        while True:
+            pending = {
+                c[0]
+                for c in key_chains
+                if len(c) == 1 and c[0] in local_assigns and c[0] not in expanded
+            }
+            if not pending:
+                break
+            for name in pending:
+                expanded.add(name)
+                key_chains |= _chains(local_assigns[name])
+
+        body = compute.body if isinstance(compute, ast.Lambda) else compute
+        compute_locals = _assigned_names(body) | _function_params(compute)
+
+        def structural(chain: Chain) -> bool:
+            return chain[0] in _STRUCTURAL_ROOTS and "config" not in chain
+
+        def covered(chain: Chain) -> bool:
+            if structural(chain) or _prefix_covered(chain, key_chains):
+                return True
+            if "config" in chain and self._leaf_covered(chain, key_chains):
+                return True
+            # A read through a derived local (`analyzer = self.analyzer`) is
+            # covered when everything the local derives from is.
+            assigned = local_assigns.get(chain[0])
+            if assigned is not None:
+                source_chains = {
+                    c for c in _chains(assigned) if c[0] in enclosing_data
+                }
+                if source_chains and all(
+                    structural(c) or _prefix_covered(c, key_chains)
+                    for c in source_chains
+                ):
+                    return True
+            return False
+
+        findings: List[Finding] = []
+        for chain in sorted(_chains(body)):
+            root = chain[0]
+            if root in compute_locals or root not in enclosing_data:
+                continue
+            if covered(chain):
+                continue
+            # Anchored at the call site (not the read): that is where the key
+            # lives, and where a deliberate-exclusion pragma belongs.
+            findings.append(
+                self.finding(
+                    module,
+                    call.lineno,
+                    f"compute for stage {self._stage_label(call)} reads "
+                    f"{'.'.join(chain)} but the cache key does not include it",
+                    "add the value to the fingerprint key (stale-cache hazard)",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _leaf_covered(read: Chain, keys: Set[Chain]) -> bool:
+        return any(key[-1] == read[-1] for key in keys if len(key) > 1)
+
+    @staticmethod
+    def _resolve_compute(fn: ast.AST, compute_arg: ast.AST) -> Optional[ast.AST]:
+        if isinstance(compute_arg, ast.Lambda):
+            return compute_arg
+        if isinstance(compute_arg, ast.Name):
+            for sub in ast.walk(fn):
+                if (
+                    isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and sub.name == compute_arg.id
+                ):
+                    return sub
+        return None
+
+    @staticmethod
+    def _stage_label(call: ast.Call) -> str:
+        stage = call.args[0]
+        if isinstance(stage, ast.Constant) and isinstance(stage.value, str):
+            return repr(stage.value)
+        name = astutil.dotted_name(stage)
+        return name or "<dynamic>"

@@ -1,0 +1,70 @@
+"""One-call lint driver shared by the CLI subcommand and the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import all_rules
+from repro.analysis.findings import Finding
+from repro.analysis.walker import ModuleInfo, ParseFailure, collect_modules
+
+#: Rule id carried by parse failures (not a registered rule: a file the
+#: walker cannot parse defeats every rule at once).
+PARSE_RULE_ID = "E001"
+
+
+@dataclass
+class LintReport:
+    findings: List[Finding] = field(default_factory=list)
+    parse_failures: List[ParseFailure] = field(default_factory=list)
+    modules: List[ModuleInfo] = field(default_factory=list)
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        table: Dict[str, int] = {}
+        for finding in self.findings:
+            table[finding.rule_id] = table.get(finding.rule_id, 0) + 1
+        return table
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rule_filter: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Parse once, run every (selected) rule, return suppressed-filtered findings."""
+    modules, failures = collect_modules(paths, root=root)
+    wanted = set(rule_filter) if rule_filter else None
+    rules = [r for r in all_rules() if wanted is None or r.rule_id in wanted]
+    if wanted:
+        known = {r.rule_id for r in all_rules()}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+
+    by_path: Dict[str, ModuleInfo] = {m.effective_path: m for m in modules}
+    findings: List[Finding] = []
+    for rule in rules:
+        for module in modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.finalize(modules))
+
+    def visible(finding: Finding) -> bool:
+        module = by_path.get(finding.file)
+        return module is None or not module.suppressed(finding.rule_id, finding.line)
+
+    findings = sorted(
+        {f for f in findings if visible(f)}, key=lambda f: f.sort_key()
+    )
+    return LintReport(
+        findings=findings,
+        parse_failures=failures,
+        modules=modules,
+        rules_run=tuple(r.rule_id for r in rules),
+    )

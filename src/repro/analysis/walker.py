@@ -1,0 +1,184 @@
+"""Parse the source tree once into rule-ready module records.
+
+Two comment directives shape the walk:
+
+``# repro-lint-fixture: <repo-relative-path>``
+    Declares the file to be a lint *fixture*: its effective path -- the one
+    path-scoped rules and findings see -- is the declared one, and directory
+    walks skip the file entirely (it is test input for the linter, not repo
+    code).  Passing a fixture file to the linter explicitly still lints it.
+
+``# repro-lint: ignore[R001]`` / ``ignore[R001,R005]``
+    Suppresses the listed rules on that source line.  Suppressions are
+    deliberately line+rule scoped: blanket file-level opt-outs would let the
+    contracts rot silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+_FIXTURE_RE = re.compile(r"#\s*repro-lint-fixture:\s*(\S+)")
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+#: Directive must appear in the first N lines to mark a fixture.
+_FIXTURE_HEAD_LINES = 10
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the walker could not parse (reported as an E001 finding)."""
+
+    path: str
+    line: int
+    message: str
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module plus the metadata rules need."""
+
+    path: Path
+    effective_path: str
+    source: str
+    tree: ast.Module
+    is_fixture: bool = False
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and rule_id in rules
+
+    def repro_relative(self) -> Optional[str]:
+        """The path from the ``repro`` package root (``repro/core/engine.py``),
+        or ``None`` for files outside the package (tests, scripts)."""
+        posix = self.effective_path
+        if posix.startswith("repro/"):
+            return posix
+        index = posix.find("/repro/")
+        return posix[index + 1 :] if index >= 0 else None
+
+    def in_package_dirs(self, dirs: Sequence[str]) -> bool:
+        relative = self.repro_relative()
+        if relative is None:
+            return False
+        return any(relative.startswith(f"repro/{d}/") for d in dirs)
+
+
+def _detect_repo_root(path: Path) -> Path:
+    for candidate in [path.parent, *path.parent.parents]:
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return path.parent
+
+
+def _fixture_path(source: str) -> Optional[str]:
+    head = source.splitlines()[:_FIXTURE_HEAD_LINES]
+    for line in head:
+        match = _FIXTURE_RE.search(line)
+        if match:
+            return match.group(1)
+    return None
+
+
+def _suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if rules:
+                table[lineno] = rules
+    return table
+
+
+def parse_module(path: Path, root: Optional[Path] = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    path = Path(path)
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    fixture = _fixture_path(source)
+    if fixture is not None:
+        effective = fixture
+    else:
+        base = root if root is not None else _detect_repo_root(path)
+        try:
+            effective = path.resolve().relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            effective = path.name
+    return ModuleInfo(
+        path=path,
+        effective_path=effective,
+        source=source,
+        tree=tree,
+        is_fixture=fixture is not None,
+        suppressions=_suppressions(source),
+    )
+
+
+def _iter_files(target: Path) -> Tuple[List[Path], bool]:
+    """(python files under target, whether target was a directory walk)."""
+    if target.is_dir():
+        return sorted(p for p in target.rglob("*.py")), True
+    return [target], False
+
+
+def collect_modules(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> Tuple[List[ModuleInfo], List[ParseFailure]]:
+    """Parse every python file under ``paths`` once.
+
+    Directory walks skip fixture-directive files; explicitly listed files are
+    always included.  Returns the parsed modules (stable path order, no
+    duplicates) and the parse failures.
+    """
+    modules: List[ModuleInfo] = []
+    failures: List[ParseFailure] = []
+    seen = set()
+    for target in paths:
+        files, walked = _iter_files(Path(target))
+        for file_path in files:
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                module = parse_module(file_path, root=root)
+            except SyntaxError as exc:
+                failures.append(
+                    ParseFailure(
+                        path=str(file_path),
+                        line=int(exc.lineno or 1),
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            except OSError as exc:
+                failures.append(
+                    ParseFailure(path=str(file_path), line=1, message=str(exc))
+                )
+                continue
+            if walked and module.is_fixture:
+                continue
+            modules.append(module)
+    return modules, failures
+
+
+def default_lint_paths() -> List[Path]:
+    """What ``repro lint`` analyses with no path arguments: the installed
+    ``repro`` package tree, plus the repo's ``tests/`` tree when present."""
+    import repro
+
+    package_root = Path(repro.__file__).parent
+    paths = [package_root]
+    repo_root = _detect_repo_root(package_root / "__init__.py")
+    tests = repo_root / "tests"
+    if tests.is_dir():
+        paths.append(tests)
+    return paths

@@ -412,6 +412,100 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- lint ------------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here: the analysis subsystem is pure stdlib-ast tooling and the
+    # run/batch paths should not pay for it.
+    from repro.analysis import (
+        LINT_SCHEMA,
+        all_rules,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.findings import Finding
+    from repro.analysis.runner import PARSE_RULE_ID
+    from repro.analysis.walker import default_lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] or default_lint_paths()
+    try:
+        report = lint_paths(paths, rule_filter=args.rule or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = list(report.findings)
+    parse_findings = [
+        Finding(
+            rule_id=PARSE_RULE_ID, file=f.path, line=f.line, message=f.message
+        )
+        for f in report.parse_failures
+    ]
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: --update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, findings)
+        print(f"baseline updated: {len(findings)} finding(s) -> {baseline_path}")
+        return 0
+
+    new, expired = findings, []
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        new, expired = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        payload = {
+            "schema": LINT_SCHEMA,
+            "rules": list(report.rules_run),
+            "modules": len(report.modules),
+            "counts": report.counts,
+            "findings": [f.to_payload() for f in new],
+            "baselined": len(findings) - len(new),
+            "expired_baseline_entries": [
+                {"rule": rule, "file": file, "message": message}
+                for rule, file, message in expired
+            ],
+            "parse_failures": [f.to_payload() for f in parse_findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in parse_findings + new:
+            print(finding.render())
+        for rule, file, message in expired:
+            print(f"{file}: {rule} baseline entry no longer matches: {message} "
+                  "[remove it from the baseline]")
+        baselined = len(findings) - len(new)
+        summary = (
+            f"{len(report.modules)} module(s), rules {', '.join(report.rules_run)}: "
+            f"{len(new)} finding(s)"
+        )
+        if baselined:
+            summary += f", {baselined} baselined"
+        if expired:
+            summary += f", {len(expired)} expired baseline entr(y/ies)"
+        if parse_findings:
+            summary += f", {len(parse_findings)} unparseable file(s)"
+        print(summary)
+
+    if parse_findings:
+        return 2
+    return 1 if new or expired else 0
+
+
 # -- argument parsing ------------------------------------------------------------------
 
 
@@ -548,6 +642,27 @@ def build_parser() -> argparse.ArgumentParser:
                                "JSON (entry metadata; with names, the full "
                                "stored artifacts including metrics)")
     p_report.set_defaults(func=_cmd_report, no_store=False)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis of the reproducibility contracts (R001-R005)",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: the repro "
+                             "package plus the repo's tests/ tree)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    p_lint.add_argument("--rule", action="append", default=[], metavar="RULE_ID",
+                        help="run only this rule (repeatable; default: all)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="JSON baseline of adopted findings: matches are "
+                             "subtracted, new findings and expired entries fail")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline FILE from the current findings "
+                             "and exit 0")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

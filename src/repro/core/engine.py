@@ -330,7 +330,9 @@ def resolve_architecture(
         if f.name not in rebindable_fields
     )
     struct_key = fingerprint("build", builder_key(builder), structural)
-    base = cache.get_or_compute(
+    # The name is deliberately outside the structural key: a hit with a
+    # different name/config is detected below and rebound, never returned as-is.
+    base = cache.get_or_compute(  # repro-lint: ignore[R002]
         "build", struct_key, lambda: builder(config=config, name=resolved_name)
     )
     if base.config == config and base.name == resolved_name:
@@ -654,9 +656,18 @@ class MonteCarloAccuracyPass(EnginePass):
         # forwards agree to ~1e-9 (not bit-for-bit), philox streams differ
         # from the SeedSequence contract by construction, and float32 studies
         # round differently -- so an A/B comparison within one process must
-        # never serve one mode's memoized study to another.
+        # never serve one mode's memoized study to another.  nominal_snr is in
+        # the key because compute() reads it: two contexts with identical
+        # request/bits/link but different SNR reports (e.g. divergent receiver
+        # sweeps sharing one cache) must not serve each other's studies.
         key = fingerprint(
-            request.fingerprint(), bits, link, forward_mode(), rng_mode(), dtype_mode()
+            request.fingerprint(),
+            bits,
+            link,
+            nominal_snr,
+            forward_mode(),
+            rng_mode(),
+            dtype_mode(),
         )
         ctx.accuracy_report = cache.get_or_compute(self.name, key, compute)
 
@@ -997,7 +1008,9 @@ class EvaluationEngine:
                     )
             return arch.critical_path()
 
-        return cache.get_or_compute("critical_path", key, compute)
+        # The key is the exact projection critical_path() is a function of
+        # (netlist topology + per-instance losses), not the arch object itself.
+        return cache.get_or_compute("critical_path", key, compute)  # repro-lint: ignore[R002]
 
     def _execute(
         self,

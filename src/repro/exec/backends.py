@@ -32,6 +32,8 @@ import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
 
+from repro.core.knobs import REPRO_ENV_PREFIX, repro_env_snapshot
+
 TaskFn = Callable[[Any, Any], Any]
 
 
@@ -88,20 +90,10 @@ def partition_indices(count: int, parts: int) -> List[List[int]]:
     return chunks
 
 
-#: Every mode/tuning knob the repro engine reads from the environment shares
-#: this prefix; task-shipping backends snapshot them so worker behaviour is a
-#: function of the task encoding, not of whatever environment the worker
-#: process happens to inherit.
-REPRO_ENV_PREFIX = "REPRO_"
-
-
-def repro_env_snapshot() -> Dict[str, str]:
-    """The parent's ``REPRO_*`` environment, captured at task-encoding time."""
-    return {
-        key: value
-        for key, value in os.environ.items()
-        if key.startswith(REPRO_ENV_PREFIX)
-    }
+# REPRO_ENV_PREFIX and repro_env_snapshot are owned by the knob registry
+# (repro.core.knobs) and re-exported above: the snapshot derives from the
+# declared knobs, so a newly registered numerics knob can never be forgotten
+# from what task-shipping backends pin into encodings.
 
 
 @contextlib.contextmanager

@@ -67,6 +67,7 @@ import traceback
 from collections import Counter, deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import knobs
 from repro.exec.backends import (
     BACKENDS,
     ExecutionBackend,
@@ -644,19 +645,19 @@ class ClusterBackend(ExecutionBackend):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
         super().__init__()
-        env_workers = os.environ.get(CLUSTER_WORKERS_ENV)
+        env_workers = knobs.raw_value(CLUSTER_WORKERS_ENV)
         self._min_workers = _validate_jobs(jobs) or _validate_jobs(
             int(env_workers) if env_workers else None
         ) or 1
-        self._host = host if host is not None else os.environ.get(
-            CLUSTER_HOST_ENV, DEFAULT_CLUSTER_HOST
+        self._host = host if host is not None else (
+            knobs.raw_value(CLUSTER_HOST_ENV) or DEFAULT_CLUSTER_HOST
         )
         if port is None:
-            env_port = os.environ.get(CLUSTER_PORT_ENV)
+            env_port = knobs.raw_value(CLUSTER_PORT_ENV)
             port = int(env_port) if env_port else DEFAULT_CLUSTER_PORT
         self._port = int(port)
         if wait_s is None:
-            env_wait = os.environ.get(CLUSTER_WAIT_ENV)
+            env_wait = knobs.raw_value(CLUSTER_WAIT_ENV)
             wait_s = float(env_wait) if env_wait else DEFAULT_WAIT_S
         self._wait_s = float(wait_s)
         self._coordinator_options = {

@@ -303,24 +303,29 @@ class _DesignTaskOutcome:
 
 #: Per-process explorer instances, keyed by :attr:`_DesignTaskContext.key`;
 #: each holds its own per-worker :class:`EvaluationCache` whose hit/miss
-#: deltas travel back to the parent with every task outcome.
+#: deltas travel back to the parent with every task outcome.  Lock-guarded:
+#: the thread backend calls :func:`_worker_explorer` concurrently, and an
+#: unguarded check-then-insert would let two threads build rival explorers
+#: for one key (splitting the shared cache and dropping telemetry deltas).
 _WORKER_EXPLORERS: Dict[str, "DesignSpaceExplorer"] = {}
+_WORKER_EXPLORERS_LOCK = threading.Lock()
 
 
 def _worker_explorer(shared: _DesignTaskContext) -> "DesignSpaceExplorer":
-    explorer = _WORKER_EXPLORERS.get(shared.key)
-    if explorer is None:
-        explorer = DesignSpaceExplorer(
-            shared.builder,
-            list(shared.workloads),
-            base_config=shared.base_config,
-            sim_config=shared.sim_config,
-            cache=EvaluationCache(
-                enabled=shared.cache_enabled, max_entries=shared.cache_max_entries
-            ),
-            accuracy=shared.accuracy,
-        )
-        _WORKER_EXPLORERS[shared.key] = explorer
+    with _WORKER_EXPLORERS_LOCK:
+        explorer = _WORKER_EXPLORERS.get(shared.key)
+        if explorer is None:
+            explorer = DesignSpaceExplorer(
+                shared.builder,
+                list(shared.workloads),
+                base_config=shared.base_config,
+                sim_config=shared.sim_config,
+                cache=EvaluationCache(
+                    enabled=shared.cache_enabled, max_entries=shared.cache_max_entries
+                ),
+                accuracy=shared.accuracy,
+            )
+            _WORKER_EXPLORERS[shared.key] = explorer
     return explorer
 
 

@@ -35,7 +35,6 @@ from __future__ import annotations
 import contextlib
 import copy
 import math
-import os
 import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -44,7 +43,8 @@ import numpy as np
 from repro.dataflow.gemm import GEMMWorkload
 
 #: Environment knob selecting the forward implementation: ``vectorized``
-#: (default) or ``loop`` (the legacy reference path).
+#: (default) or ``loop`` (the legacy reference path).  Declared, like every
+#: ``REPRO_*`` knob, in the central :mod:`repro.core.knobs` registry.
 FORWARD_MODE_ENV = "REPRO_FORWARD"
 
 _FORWARD_MODES = ("vectorized", "loop")
@@ -55,6 +55,15 @@ _FORWARD_MODES = ("vectorized", "loop")
 DTYPE_MODE_ENV = "REPRO_DTYPE"
 
 _DTYPE_MODES = ("float64", "float32")
+
+
+def _knob_raw(name: str) -> Optional[str]:
+    """Registry-routed environment read (imported lazily: repro.core's package
+    init pulls in the engine, which imports this module back through
+    ``repro.onn.workload`` -- a module-level import here would cycle)."""
+    from repro.core.knobs import raw_value
+
+    return raw_value(name)
 
 #: Thread-local mode override installed by :func:`pinned_modes`.  Worker-bound
 #: task encodings (Monte Carlo trial contexts, batch/DSE task payloads) carry
@@ -106,7 +115,7 @@ def forward_mode() -> str:
     pinned = getattr(_MODE_OVERRIDE, "forward", None)
     if pinned is not None:
         return pinned
-    mode = os.environ.get(FORWARD_MODE_ENV, "vectorized").strip().lower()
+    mode = (_knob_raw(FORWARD_MODE_ENV) or "vectorized").strip().lower()
     if mode not in _FORWARD_MODES:
         raise ValueError(
             f"{FORWARD_MODE_ENV} must be one of {', '.join(_FORWARD_MODES)}, "
@@ -127,7 +136,7 @@ def dtype_mode() -> str:
     pinned = getattr(_MODE_OVERRIDE, "dtype", None)
     if pinned is not None:
         return pinned
-    mode = os.environ.get(DTYPE_MODE_ENV, "float64").strip().lower()
+    mode = (_knob_raw(DTYPE_MODE_ENV) or "float64").strip().lower()
     if mode not in _DTYPE_MODES:
         raise ValueError(
             f"{DTYPE_MODE_ENV} must be one of {', '.join(_DTYPE_MODES)}, "

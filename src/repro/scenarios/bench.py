@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import contextlib
 import json
-import os
 import platform
 import sys
 import time
@@ -41,6 +40,8 @@ import numpy as np
 
 from repro.core.cache import EvaluationCache
 from repro.core.engine import observe_passes
+from repro.core.knobs import forced_env as _forced_env
+from repro.core.knobs import raw_value as _knob_raw
 from repro.exec.backends import available_cpus
 from repro.onn.layers import (
     DTYPE_MODE_ENV,
@@ -129,23 +130,6 @@ class BenchTiming:
 
 
 @contextlib.contextmanager
-def _forced_env(var: str, value: Optional[str]) -> Iterator[None]:
-    """Pin an environment knob for the duration of the block (None = leave as is)."""
-    if value is None:
-        yield
-        return
-    previous = os.environ.get(var)
-    os.environ[var] = value
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop(var, None)
-        else:
-            os.environ[var] = previous
-
-
-@contextlib.contextmanager
 def _forced_forward_mode(mode: Optional[str]) -> Iterator[None]:
     """Pin ``$REPRO_FORWARD`` for the duration of the block (None = leave as is)."""
     with _forced_env(FORWARD_MODE_ENV, mode):
@@ -160,7 +144,7 @@ def _active_knobs() -> Dict[str, Optional[str]]:
         DTYPE_MODE_ENV: dtype_mode(),
     }
     for var in _RECORDED_ENV:
-        knobs[var] = os.environ.get(var)
+        knobs[var] = _knob_raw(var)
     return knobs
 
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import difflib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
@@ -31,6 +30,7 @@ from repro.arch.architecture import Architecture, HeterogeneousArchitecture
 from repro.core.cache import EvaluationCache
 from repro.core.config import SimulationConfig
 from repro.core.engine import EvaluationEngine, SimulationResult
+from repro.core.knobs import repro_env_snapshot
 from repro.explore.dse import DesignSpace, DesignSpaceExplorer
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
 from repro.scenarios.store import ResultStore, scenario_fingerprint
@@ -182,7 +182,7 @@ class ScenarioRegistry:
         self, name: str, params: Optional[Mapping[str, Any]] = None
     ) -> str:
         scenario = self.get(name)
-        resolved = scenario.spec.resolve_params(params, env=os.environ)
+        resolved = scenario.spec.resolve_params(params, env=repro_env_snapshot())
         return scenario_fingerprint(scenario.spec, resolved, scenario.build)
 
     def run(
@@ -202,7 +202,7 @@ class ScenarioRegistry:
         - ``force`` bypasses the store lookup (the artifact is still rewritten).
         """
         scenario = self.get(name)
-        resolved = scenario.spec.resolve_params(params, env=os.environ)
+        resolved = scenario.spec.resolve_params(params, env=repro_env_snapshot())
         fingerprint = scenario_fingerprint(scenario.spec, resolved, scenario.build)
         if store is not None and not force:
             stored = store.load(name, fingerprint)

@@ -28,9 +28,11 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from repro.core.cache import digest
+from repro.core.knobs import raw_value as _knob_raw
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
 
 #: Environment variable selecting the default store root for the CLI/runner.
+#: Declared, like every ``REPRO_*`` knob, in :mod:`repro.core.knobs`.
 STORE_ENV_VAR = "REPRO_STORE"
 
 #: Default on-disk location (relative to the current working directory).
@@ -38,7 +40,7 @@ DEFAULT_STORE_DIR = ".repro_store"
 
 
 def default_store_root() -> Path:
-    return Path(os.environ.get(STORE_ENV_VAR, DEFAULT_STORE_DIR))
+    return Path(_knob_raw(STORE_ENV_VAR) or DEFAULT_STORE_DIR)
 
 
 @lru_cache(maxsize=1)

@@ -33,7 +33,6 @@ are only reproduced in the default mode (the same pattern as
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from functools import lru_cache
@@ -41,9 +40,11 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.core.knobs import raw_value as _knob_raw
+
 #: Environment knob selecting the trial RNG derivation: ``seedseq`` (default,
 #: the bit-exact per-trial SeedSequence contract) or ``philox`` (counter-based
-#: fused generation, the throughput mode).
+#: fused generation, the throughput mode).  Declared in :mod:`repro.core.knobs`.
 RNG_MODE_ENV = "REPRO_RNG"
 
 _RNG_MODES = ("seedseq", "philox")
@@ -56,7 +57,7 @@ def rng_mode() -> str:
     mode without re-importing; unknown values fail loudly rather than silently
     sampling from the wrong contract.
     """
-    mode = os.environ.get(RNG_MODE_ENV, "seedseq").strip().lower()
+    mode = (_knob_raw(RNG_MODE_ENV) or "seedseq").strip().lower()
     if mode not in _RNG_MODES:
         raise ValueError(
             f"{RNG_MODE_ENV} must be one of {', '.join(_RNG_MODES)}, got {mode!r}"

@@ -26,7 +26,11 @@ from typing import Callable, Dict, Iterator, List
 #: The stage names the variation pipeline attributes time to.
 STAGE_NAMES = ("rng", "forward", "quantize", "metrics")
 
+#: Registered stage observers.  Mutated only under the lock: concurrent
+#: ``observe_stages`` scopes (e.g. thread-backend benchmarks) would otherwise
+#: race ``append``/``remove`` and could drop or double-register a callback.
 _OBSERVERS: List[Callable[[str, float], None]] = []
+_OBSERVERS_LOCK = threading.Lock()
 
 
 def stages_active() -> bool:
@@ -37,11 +41,13 @@ def stages_active() -> bool:
 @contextlib.contextmanager
 def observe_stages(callback: Callable[[str, float], None]) -> Iterator[None]:
     """Register ``callback(stage, seconds)`` for every timed block in scope."""
-    _OBSERVERS.append(callback)
+    with _OBSERVERS_LOCK:
+        _OBSERVERS.append(callback)
     try:
         yield
     finally:
-        _OBSERVERS.remove(callback)
+        with _OBSERVERS_LOCK:
+            _OBSERVERS.remove(callback)
 
 
 @contextlib.contextmanager

@@ -1,0 +1,15 @@
+# repro-lint-fixture: src/repro/variation/noise_bad.py
+"""R001 bad fixture: global-RNG draws, unseeded construction, wall clock."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    a = np.random.normal(0.0, 1.0)
+    b = random.random()
+    rng = np.random.default_rng()
+    stamp = time.time()
+    return a, b, rng, stamp

@@ -1,0 +1,13 @@
+# repro-lint-fixture: src/repro/variation/noise_good.py
+"""R001 good fixture: every stream is seeded, timers are monotonic."""
+
+import time
+
+import numpy as np
+
+
+def draw(seed: int):
+    rng = np.random.default_rng(seed)
+    sequence = np.random.SeedSequence(entropy=seed, spawn_key=(0,))
+    started = time.perf_counter()
+    return rng.standard_normal(4), sequence, time.perf_counter() - started

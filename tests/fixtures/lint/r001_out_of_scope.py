@@ -1,0 +1,8 @@
+# repro-lint-fixture: src/repro/scenarios/report_helper.py
+"""R001 scope fixture: the same draws outside the deterministic packages."""
+
+import numpy as np
+
+
+def jitter():
+    return np.random.normal(0.0, 1.0)

@@ -1,0 +1,29 @@
+# repro-lint-fixture: src/repro/core/engine.py
+"""R002 bad fixture: the key omits ``nominal`` although compute reads it.
+
+Models the mc_accuracy bug this PR fixed: two contexts with identical
+request/bits but different SNR reports would serve each other's study.
+"""
+
+
+class AccuracyPass:
+    name = "accuracy"
+
+    def run(self, ctx, cache):
+        request = ctx.accuracy_request
+        bits = (ctx.config.input_bits, ctx.config.weight_bits)
+        nominal = ctx.snr_reports.get("arch")
+
+        def compute():
+            return simulate(request, bits, nominal)
+
+        key = fingerprint(request.fingerprint(), bits)
+        ctx.result = cache.get_or_compute(self.name, key, compute)
+
+
+def simulate(request, bits, nominal):
+    return (request, bits, nominal)
+
+
+def fingerprint(*parts):
+    return parts

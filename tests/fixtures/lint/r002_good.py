@@ -1,0 +1,25 @@
+# repro-lint-fixture: src/repro/core/engine.py
+"""R002 good fixture: everything compute reads is in the key."""
+
+
+class AccuracyPass:
+    name = "accuracy"
+
+    def run(self, ctx, cache):
+        request = ctx.accuracy_request
+        bits = (ctx.config.input_bits, ctx.config.weight_bits)
+        nominal = ctx.snr_reports.get("arch")
+
+        def compute():
+            return simulate(request, bits, nominal)
+
+        key = fingerprint(request.fingerprint(), bits, nominal)
+        ctx.result = cache.get_or_compute(self.name, key, compute)
+
+
+def simulate(request, bits, nominal):
+    return (request, bits, nominal)
+
+
+def fingerprint(*parts):
+    return parts

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/exec/shard_bad.py
+"""R003 bad fixture: raw environment reads of registered knobs."""
+
+import os
+
+
+def shard_count():
+    raw = os.environ.get("REPRO_ALPHA")
+    forced = os.environ["REPRO_BETA"]
+    return raw, forced

@@ -1,0 +1,13 @@
+# repro-lint-fixture: src/repro/exec/snapshot_bad.py
+"""R003 bad fixture: a hand-maintained snapshot (the PR-7 bug class)."""
+
+import os
+
+
+def repro_env_snapshot():
+    snapshot = {}
+    for name in ("REPRO_ALPHA", "REPRO_BETA"):
+        raw = os.environ.get(name)
+        if raw is not None:
+            snapshot[name] = raw
+    return snapshot

@@ -1,0 +1,4 @@
+# repro-lint-fixture: src/repro/onn/widths_bad.py
+"""R003 bad fixture: an exact REPRO_* literal no register() call declares."""
+
+WIDTH_ENV = "REPRO_NOT_DECLARED"

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/exec/shard_good.py
+"""R003 good fixture: registered literals, reads through the registry."""
+
+from repro.core.knobs import raw_value
+
+ALPHA_ENV = "REPRO_ALPHA"
+
+
+def shard_count():
+    return raw_value(ALPHA_ENV) or raw_value("REPRO_BETA")

@@ -1,0 +1,10 @@
+# repro-lint-fixture: src/repro/core/knobs.py
+"""R003 registry fixture: a miniature knobs module declaring two knobs."""
+
+
+def register(name, **kwargs):
+    return name
+
+
+register("REPRO_ALPHA", type="int", affects_numerics=True)
+register("REPRO_BETA", default="fast")

@@ -1,0 +1,17 @@
+# repro-lint-fixture: src/repro/exec/tasks_bad.py
+"""R004 bad fixture: lambdas, locks and handles on shipped task classes."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ShardTaskContext:
+    transform: object = field(default_factory=lambda: None)
+    guard: object = field(default_factory=threading.Lock)
+
+
+class ShardTask:
+    def __init__(self, path):
+        self.lock = threading.Lock()
+        self.handle = open(path)

@@ -1,0 +1,17 @@
+# repro-lint-fixture: src/repro/exec/tasks_good.py
+"""R004 good fixture: plain data fields only; builtin factories are fine."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ShardTaskContext:
+    seed: int
+    trials: Tuple[int, ...] = ()
+    options: Dict[str, str] = field(default_factory=dict)
+
+
+class ShardTask:
+    def __init__(self, seed):
+        self.seed = int(seed)

@@ -1,0 +1,17 @@
+# repro-lint-fixture: src/repro/core/memo_bad.py
+"""R005 bad fixture: module-level cache mutated with no lock in sight."""
+
+_CACHE = {}
+_PENDING = []
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def enqueue(item):
+    _PENDING.append(item)
+
+
+def forget(key):
+    del _CACHE[key]

@@ -1,0 +1,25 @@
+# repro-lint-fixture: src/repro/core/memo_good.py
+"""R005 good fixture: lock-guarded mutations, local shadows, import-time setup."""
+
+import threading
+
+_CACHE = {}
+_CACHE_LOCK = threading.Lock()
+
+_CACHE["seeded-at-import"] = True  # module level: single-threaded, exempt
+
+
+def remember(key, value):
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+
+
+def forget(key):
+    with _CACHE_LOCK:
+        _CACHE.pop(key, None)
+
+
+def local_shadow():
+    _CACHE = {}
+    _CACHE["local"] = 1  # a plain local, not the module global
+    return _CACHE
