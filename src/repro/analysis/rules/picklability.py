@@ -7,7 +7,10 @@ catches violations at run time, but only on the code path that actually
 ships; this rule catches them at lint time: captured lambdas, lock/handle
 attributes, and lambda/lock ``default_factory`` fields all raise
 ``PicklingError`` the first time a study runs on the process or cluster
-backend.
+backend.  Raw ``multiprocessing.shared_memory.SharedMemory`` objects are
+flagged too -- a pickled segment re-attaches with no refcount, cleanup or
+content addressing, so task classes must carry
+:class:`repro.exec.shm.ShmHandle` instead.
 """
 
 from __future__ import annotations
@@ -33,6 +36,17 @@ _UNPICKLABLE_CALLS = {
     "threading.BoundedSemaphore",
     "threading.local",
     "open",
+}
+
+#: Raw shared-memory segments must not ride on shipped task state: pickling a
+#: ``SharedMemory`` re-attaches (or fails) on the other side with no refcount,
+#: no cleanup and no content addressing.  ``repro.exec.shm.ShmHandle`` is the
+#: blessed carrier -- it ships the digest + segment name and resolves
+#: per-host, so task classes should hold handles, never segments.
+_RAW_SHM_NAMES = {
+    "SharedMemory",
+    "shared_memory.SharedMemory",
+    "multiprocessing.shared_memory.SharedMemory",
 }
 
 
@@ -96,7 +110,49 @@ class PicklabilityRule(Rule):
                             "(recreate them worker-side)",
                         )
                     )
+                elif name in _RAW_SHM_NAMES and self._reaches_instance(node, cls):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            f"raw SharedMemory segment stored on task class "
+                            f"{cls.name}",
+                            "ship a repro.exec.shm.ShmHandle instead: handles "
+                            "are content-addressed, pickle-safe and resolved "
+                            "per host",
+                        )
+                    )
+            elif isinstance(node, ast.AnnAssign) and node.annotation is not None:
+                shm_name = self._annotated_shm(node.annotation, aliases)
+                if shm_name is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.annotation.lineno,
+                            f"raw SharedMemory field declared on task class "
+                            f"{cls.name}",
+                            "declare the field as repro.exec.shm.ShmHandle "
+                            "and resolve the segment worker-side",
+                        )
+                    )
         return findings
+
+    @staticmethod
+    def _annotated_shm(annotation: ast.expr, aliases: dict) -> str | None:
+        """The raw-SharedMemory name inside ``annotation``, if any.
+
+        Walks the whole annotation expression so wrapped spellings
+        (``Optional[SharedMemory]``, ``Tuple[SharedMemory, ...]``) are caught
+        alongside bare ones.
+        """
+        for node in ast.walk(annotation):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                dotted = astutil.dotted_name(node)
+                resolved = astutil.resolve_dotted(dotted, aliases) if dotted else None
+                for candidate in (resolved, dotted):
+                    if candidate in _RAW_SHM_NAMES:
+                        return candidate
+        return None
 
     @staticmethod
     def _reaches_instance(call: ast.Call, cls: ast.ClassDef) -> bool:

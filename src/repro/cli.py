@@ -35,6 +35,7 @@ from repro.scenarios import (
 from repro.scenarios.bench import (
     DEFAULT_BENCH_PATH,
     bench_cluster_scaling,
+    bench_dispatch_comparison,
     bench_scenarios,
     check_speedups,
     write_bench_report,
@@ -268,6 +269,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: --cluster scenario not selected: {args.cluster}"
         )
+    if args.fail_below_dispatch is not None and not args.compare_dispatch:
+        raise SystemExit(
+            "error: --fail-below-dispatch requires --compare-dispatch"
+        )
+    if args.compare_dispatch and args.compare_dispatch not in names:
+        raise SystemExit(
+            f"error: --compare-dispatch scenario not selected: {args.compare_dispatch}"
+        )
     payload = bench_scenarios(
         names,
         repeats=args.repeats,
@@ -281,6 +290,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         payload["cluster_scaling"] = bench_cluster_scaling(
             args.cluster,
             worker_counts=cluster_workers,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            params=_parse_params(args.param),
+            rng=args.rng,
+            dtype=args.dtype,
+        )
+    if args.compare_dispatch:
+        payload["dispatch_comparison"] = bench_dispatch_comparison(
+            args.compare_dispatch,
             repeats=args.repeats,
             warmup=args.warmup,
             params=_parse_params(args.param),
@@ -335,15 +353,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"  {count} worker(s): {centry['median_s'] * 1e3:.1f} ms "
                 f"({centry['speedup_vs_serial_median']:.2f}x vs serial)"
             )
+    if args.compare_dispatch:
+        dispatch = payload["dispatch_comparison"]
+        serial_ms = dispatch["serial"]["median_s"] * 1e3
+        print(
+            f"\ndispatch comparison for {args.compare_dispatch} "
+            f"(serial {serial_ms:.1f} ms):"
+        )
+        for label, dentry in dispatch["dispatch"].items():
+            print(
+                f"  {label:9s} {dentry['median_s'] * 1e3:8.1f} ms "
+                f"({dentry['speedup_vs_serial_median']:.2f}x vs serial, "
+                f"dispatch overhead {dentry['dispatch_overhead_s'] * 1e3:.1f} ms)"
+            )
     target = write_bench_report(payload, args.output)
     print(f"\nwrote {target}", file=sys.stderr)
     failures = check_speedups(payload, thresholds)
     failures += check_speedups(
         payload, ref_thresholds, key="speedup_vs_reference_median"
     )
+    if args.fail_below_dispatch is not None:
+        warm = payload["dispatch_comparison"]["dispatch"]["warm_shm"]
+        ratio = warm["speedup_vs_serial_median"]
+        if ratio < args.fail_below_dispatch:
+            failures.append(
+                f"{args.compare_dispatch}: warm+shm process dispatch at "
+                f"{ratio:.2f}x of serial, below the required "
+                f"{args.fail_below_dispatch:.2f}x"
+            )
     for failure in failures:
         print(f"SPEEDUP CHECK FAILED {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    from repro.exec import pool_status, stop_pools
+
+    if args.action == "stop":
+        stopped = stop_pools()
+        print(f"stopped {stopped} warm pool(s)")
+        return 0
+    pools = pool_status()
+    if not pools:
+        print("no live warm pools in this process")
+        return 0
+    rows = [
+        (
+            str(pool["jobs"]),
+            str(pool["leases"]),
+            str(pool["dispatches"]),
+            str(pool["restarts"]),
+            f"{pool['age_s']:.1f}",
+            f"{pool['idle_s']:.1f}",
+        )
+        for pool in pools
+    ]
+    print(format_table(
+        ["jobs", "leases", "dispatches", "restarts", "age (s)", "idle (s)"], rows
+    ))
+    return 0
 
 
 def _artifact_payload(entry: Dict[str, object]) -> Dict[str, object]:
@@ -609,6 +677,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cluster-workers", default="1,2", metavar="N,M,...",
                          help="comma-separated cluster sizes for --cluster "
                               "(default: 1,2)")
+    p_bench.add_argument("--compare-dispatch", nargs="?", metavar="SCENARIO",
+                         const="variation_robustness", default=None,
+                         help="additionally time SCENARIO (default: "
+                              "variation_robustness) on the process backend "
+                              "under cold-pool, warm-pool and warm+shm "
+                              "dispatch and record medians plus dispatch-"
+                              "overhead stage timings in the report's "
+                              "dispatch_comparison block")
+    p_bench.add_argument("--fail-below-dispatch", type=float, default=None,
+                         metavar="FACTOR",
+                         help="exit non-zero when the warm+shm process-backend "
+                              "run is slower than FACTOR x serial (requires "
+                              "--compare-dispatch)")
     p_bench.add_argument("--output", default=DEFAULT_BENCH_PATH, metavar="PATH",
                          help=f"report path (default: {DEFAULT_BENCH_PATH})")
     p_bench.set_defaults(func=_cmd_bench)
@@ -631,6 +712,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--quiet", action="store_true",
                           help="suppress per-session log lines on stderr")
     p_worker.set_defaults(func=_cmd_worker, no_store=False)
+
+    p_pool = sub.add_parser(
+        "pool",
+        help="inspect or stop this process's warm worker pools "
+             "(REPRO_POOL=warm keeps process pools alive between batches)",
+    )
+    p_pool.add_argument("action", nargs="?", choices=("status", "stop"),
+                        default="status",
+                        help="'status' (default) lists live pools (jobs, leases, "
+                             "dispatches, age); 'stop' shuts them down. Pools "
+                             "are per-process: from a fresh CLI process this "
+                             "reports the pools that process created (embedded "
+                             "callers and long-lived daemons hold warm pools "
+                             "worth inspecting/stopping)")
+    p_pool.set_defaults(func=_cmd_pool, no_store=True)
 
     p_report = sub.add_parser("report", help="inspect the persistent result store")
     p_report.add_argument("names", nargs="*",

@@ -199,10 +199,11 @@ def netlist_fingerprint(netlist: Any) -> Hashable:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one pass (stage) of the evaluation pipeline."""
+    """Hit/miss/eviction counters for one pass (stage) of the evaluation pipeline."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -214,7 +215,10 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"CacheStats(hits={self.hits}, misses={self.misses})"
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
 
 
 class EvaluationCache:
@@ -227,6 +231,10 @@ class EvaluationCache:
     """
 
     def __init__(self, enabled: bool = True, max_entries: Optional[int] = None) -> None:
+        if max_entries is None:
+            from repro.core import knobs
+
+            max_entries = knobs.value("REPRO_CACHE_MAX_ENTRIES")
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive when given")
         self.enabled = enabled
@@ -251,13 +259,22 @@ class EvaluationCache:
             stats = self._stat(stage)
             if (stage, key) in self._store:
                 stats.hits += 1
-                return self._store[(stage, key)]
+                # LRU: re-insert on hit so recency, not insertion order, decides
+                # which entry a bounded cache drops next.
+                value = self._store.pop((stage, key))
+                self._store[(stage, key)] = value
+                return value
             stats.misses += 1
         value = compute()
         with self._lock:
-            if self.max_entries is not None and len(self._store) >= self.max_entries:
-                # Drop the oldest insertion (dict preserves insertion order).
-                self._store.pop(next(iter(self._store)))
+            if (
+                self.max_entries is not None
+                and (stage, key) not in self._store
+                and len(self._store) >= self.max_entries
+            ):
+                oldest = next(iter(self._store))
+                del self._store[oldest]
+                self._stat(oldest[0]).evictions += 1
             self._store[(stage, key)] = value
         return value
 

@@ -271,6 +271,34 @@ register(
     description="Result-store directory for the repro CLI and batch runner.",
 )
 register(
+    "REPRO_POOL",
+    default="cold",
+    choices=("warm", "cold"),
+    description="Process-pool lifecycle: cold (default) builds and tears down "
+    "a pool per session, warm keeps a named reusable pool alive across "
+    "dispatches (stop it with `repro pool stop`).",
+)
+register(
+    "REPRO_POOL_IDLE_S",
+    type="float",
+    default="300",
+    description="Seconds a warm process pool may sit idle before it is reaped.",
+)
+register(
+    "REPRO_SHM",
+    default="on",
+    choices=("on", "off"),
+    description="Shared-memory array transport for task-shipping backends: "
+    "large arrays are published once per host and task encodings carry "
+    "content-addressed handles instead of pickled copies.",
+)
+register(
+    "REPRO_CACHE_MAX_ENTRIES",
+    type="int",
+    description="LRU entry cap of the evaluation cache (unset = unbounded); "
+    "evictions recompute deterministically, so results never change.",
+)
+register(
     "REPRO_CLUSTER_HOST",
     description="Cluster coordinator bind/connect host (default 127.0.0.1).",
 )

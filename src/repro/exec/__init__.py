@@ -22,6 +22,21 @@ from repro.exec.backends import (
     partition_indices,
     repro_env_snapshot,
     resolve_backend,
+    steal_partition,
+)
+from repro.exec.pool import pool_mode, pool_status, stop_pools
+from repro.exec.shm import (
+    ShmHandle,
+    active_segments,
+    as_array,
+    as_object,
+    publish_array,
+    publish_object,
+    resolve_array,
+    resolve_object,
+    set_fetch_hook,
+    shm_enabled,
+    unlink_all,
 )
 from repro.exec.cluster import (
     ClusterBackend,
@@ -53,9 +68,13 @@ __all__ = [
     "PassTiming",
     "ProcessBackend",
     "SerialBackend",
+    "ShmHandle",
     "ThreadBackend",
     "WorkerTelemetry",
+    "active_segments",
     "applied_env_snapshot",
+    "as_array",
+    "as_object",
     "available_cpus",
     "partition_indices",
     "cache_stats_delta",
@@ -65,10 +84,21 @@ __all__ = [
     "merge_cache_stats",
     "merge_pass_timings",
     "parse_address",
+    "pool_mode",
+    "pool_status",
+    "publish_array",
+    "publish_object",
     "render_pass_timings",
     "repro_env_snapshot",
+    "resolve_array",
     "resolve_backend",
+    "resolve_object",
     "run_worker",
+    "set_fetch_hook",
+    "shm_enabled",
     "shutdown_coordinators",
     "spawn_local_workers",
+    "steal_partition",
+    "stop_pools",
+    "unlink_all",
 ]

@@ -30,7 +30,7 @@ import os
 import pickle
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.knobs import REPRO_ENV_PREFIX, repro_env_snapshot
 
@@ -87,6 +87,59 @@ def partition_indices(count: int, parts: int) -> List[List[int]]:
         size = base + (1 if index < extra else 0)
         chunks.append(list(range(start, start + size)))
         start += size
+    return chunks
+
+
+def steal_partition(
+    count: int,
+    workers: int,
+    min_chunk: int = 1,
+    cap: Optional[int] = None,
+    factor: int = 4,
+) -> List[List[int]]:
+    """Size-tiered contiguous chunks for completion-driven (work-stealing) pools.
+
+    Guided self-scheduling: each chunk takes ``ceil(remaining / (workers *
+    factor))`` indices, so early chunks are large (amortizing per-chunk
+    dispatch cost) and the tail degrades to ``min_chunk``-sized pieces -- a
+    straggler can strand at most one small chunk's worth of work, instead of
+    the ``count / workers`` a static one-chunk-per-worker split risks.  Like
+    :func:`partition_indices` this is a pure function of its arguments and the
+    chunks concatenate to ``range(count)``, so reassembling results by chunk
+    position is byte-identical to serial no matter which worker pulled which
+    chunk.  ``cap`` bounds chunk length (e.g. a trial-batch working-set cap).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if min_chunk < 1:
+        raise ValueError(f"min_chunk must be positive, got {min_chunk}")
+    if cap is not None and cap < 1:
+        raise ValueError(f"cap must be positive when given, got {cap}")
+    if factor < 1:
+        raise ValueError(f"factor must be positive, got {factor}")
+    if count == 0:
+        return []
+    if workers == 1:
+        # Stealing needs at least two consumers; with one, minimizing dispatch
+        # round-trips wins, so emit the coarsest chunks the cap allows.
+        size = count if cap is None else cap
+        return [
+            list(range(start, min(start + size, count)))
+            for start in range(0, count, size)
+        ]
+    chunks: List[List[int]] = []
+    start = 0
+    remaining = count
+    while remaining:
+        size = max(min_chunk, math.ceil(remaining / (workers * factor)))
+        if cap is not None:
+            size = min(size, cap)
+        size = min(size, remaining)
+        chunks.append(list(range(start, start + size)))
+        start += size
+        remaining -= size
     return chunks
 
 
@@ -152,6 +205,19 @@ class ExecutionBackend:
         """The pool a session keeps alive (None for inline backends)."""
         return None
 
+    def _acquire_session_pool(self) -> Optional[Executor]:
+        """Hook: the executor an opening session binds (None = run inline).
+
+        The default builds a private pool via :meth:`_make_pool`; backends
+        with external pool lifecycles (the process backend's warm pools)
+        override the acquire/release pair instead of ``session`` itself.
+        """
+        return self._make_pool()
+
+    def _release_session_pool(self, pool: Executor) -> None:
+        """Hook: hand the session's executor back (default: tear it down)."""
+        pool.shutdown(wait=True)
+
     @contextlib.contextmanager
     def session(self):
         """Scope within which pools -- and per-worker state -- persist.
@@ -162,12 +228,13 @@ class ExecutionBackend:
         (per-worker caches, architecture builds) across rounds instead of
         paying startup and re-pickling per batch.  Sessions nest; the
         outermost one owns the pool.  Without a session every ``map_tasks``
-        call builds and tears down its own pool.
+        call builds and tears down its own pool (or, under ``REPRO_POOL=warm``
+        on the process backend, leases the shared warm pool per call).
         """
         with self._session_lock:
             self._session_depth += 1
             if self._session_depth == 1:
-                self._pool = self._make_pool()
+                self._pool = self._acquire_session_pool()
         try:
             yield self
         finally:
@@ -175,7 +242,7 @@ class ExecutionBackend:
                 self._session_depth -= 1
                 if self._session_depth == 0 and self._pool is not None:
                     pool, self._pool = self._pool, None
-                    pool.shutdown(wait=True)
+                    self._release_session_pool(pool)
 
     def map_tasks(
         self, fn: TaskFn, tasks: Sequence[Any], shared: Any = None
@@ -234,9 +301,25 @@ class ThreadBackend(ExecutionBackend):
             return list(pool.map(lambda task: fn(shared, task), tasks))
 
 
-def _run_chunk(fn: TaskFn, shared: Any, chunk: List[Any]) -> List[Any]:
-    """Worker-side loop: one unpickle of (fn, shared) serves the whole chunk."""
-    return [fn(shared, task) for task in chunk]
+def _run_chunk(
+    fn: TaskFn, shared: Any, chunk: List[Any], collect_stages: bool = False
+) -> "Tuple[List[Any], Optional[Dict[str, float]]]":
+    """Worker-side loop: one unpickle of (fn, shared) serves the whole chunk.
+
+    Returns ``(results, stage_totals)``.  When the parent has stage observers
+    registered it asks for ``collect_stages``: the worker accumulates its own
+    :func:`repro.variation.stages.stage` blocks and ships the totals home, so
+    stage attribution survives the process boundary (the bug that left cluster
+    bench records with only the parent-side ``rng`` stage).
+    """
+    if not collect_stages:
+        return [fn(shared, task) for task in chunk], None
+    from repro.variation.stages import StageAccumulator, observe_stages
+
+    accumulator = StageAccumulator()
+    with observe_stages(accumulator):
+        results = [fn(shared, task) for task in chunk]
+    return results, (accumulator.totals() or None)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -260,6 +343,7 @@ class ProcessBackend(ExecutionBackend):
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be a positive integer, got {chunksize!r}")
         self.chunksize = chunksize
+        self._warm_release: Optional[Callable[[], None]] = None
 
     @property
     def jobs(self) -> int:
@@ -268,11 +352,49 @@ class ProcessBackend(ExecutionBackend):
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self._jobs)
 
+    def _lease_pool(
+        self, limit: Optional[int] = None
+    ) -> "Tuple[Executor, Callable[[], None]]":
+        """``(executor, release)`` honouring the ``REPRO_POOL`` lifecycle knob.
+
+        ``warm`` leases the process-wide persistent pool (created on first
+        use, revalidated against the ``REPRO_*`` snapshot, reaped when idle;
+        always sized ``jobs`` so every lease shares one pool); ``cold`` keeps
+        the historical build-per-scope executor, sized down to ``limit`` when
+        fewer chunks than workers exist.
+        """
+        from repro.exec import pool as warm_pools
+
+        if warm_pools.pool_mode() == "warm":
+            return warm_pools.checkout(self._jobs)
+        workers = self._jobs if limit is None else max(1, min(self._jobs, limit))
+        executor = ProcessPoolExecutor(max_workers=workers)
+        return executor, lambda: executor.shutdown(wait=True)
+
+    def _acquire_session_pool(self) -> Executor:
+        executor, release = self._lease_pool()
+        self._warm_release = release
+        return executor
+
+    def _release_session_pool(self, pool: Executor) -> None:
+        release, self._warm_release = self._warm_release, None
+        if release is not None:
+            release()
+        else:  # pragma: no cover - defensive: session opened pre-refactor pool
+            pool.shutdown(wait=True)
+
     def _chunks(self, tasks: List[Any]) -> List[List[Any]]:
-        size = self.chunksize
-        if size is None:
-            size = max(1, math.ceil(len(tasks) / (self._jobs * 4)))
-        return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+        if self.chunksize is not None:
+            size = self.chunksize
+            return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+        # Size-tiered chunks: workers pull the next pending chunk as they
+        # finish (ProcessPoolExecutor scheduling is completion-driven), so the
+        # decaying sizes bound how much work a straggler can strand while the
+        # leading chunks keep per-chunk shipping amortized.
+        return [
+            tasks[bounds[0] : bounds[-1] + 1]
+            for bounds in steal_partition(len(tasks), self._jobs)
+        ]
 
     @staticmethod
     def check_picklable(fn: TaskFn, shared: Any, tasks: Sequence[Any]) -> None:
@@ -303,17 +425,32 @@ class ProcessBackend(ExecutionBackend):
         chunks = self._chunks(tasks)
         if self._pool is not None:
             return self._collect(self._pool, fn, shared, chunks)
-        with ProcessPoolExecutor(max_workers=min(self._jobs, len(chunks))) as pool:
+        pool, release = self._lease_pool(limit=len(chunks))
+        try:
             return self._collect(pool, fn, shared, chunks)
+        finally:
+            release()
 
     @staticmethod
     def _collect(
         pool: Executor, fn: TaskFn, shared: Any, chunks: List[List[Any]]
     ) -> List[Any]:
-        futures = [pool.submit(_run_chunk, fn, shared, chunk) for chunk in chunks]
+        from repro.variation.stages import emit_totals, stages_active
+
+        collect = stages_active()
+        futures = [
+            pool.submit(_run_chunk, fn, shared, chunk, collect) for chunk in chunks
+        ]
         results: List[Any] = []
+        totals: Dict[str, float] = {}
         for future in futures:  # submission order == task order
-            results.extend(future.result())
+            chunk_results, chunk_stages = future.result()
+            results.extend(chunk_results)
+            if chunk_stages:
+                for name, seconds in chunk_stages.items():
+                    totals[name] = totals.get(name, 0.0) + seconds
+        if totals:
+            emit_totals(totals)
         return results
 
 

@@ -31,10 +31,17 @@ Frames are ``8-byte big-endian length + pickle``.  The worker opens with
 ``("hello", info)``; a coordinator speaking a different protocol replies
 ``("reject", reason)`` and closes, otherwise ``("welcome", options)``.  Each
 ``map_tasks`` round ships its pickled ``(fn, shared)`` payload once per worker
-(``"context"``), then ``("task", round, chunk_id, tasks)`` messages; workers
-answer ``("result", round, chunk_id, results)`` or ``("error", ...)`` with the
-remote traceback.  Workers emit unsolicited ``("heartbeat",)`` frames on the
-cadence the welcome message names.
+(``"context"``), then ``("task", round, chunk_id, tasks, want_stages)``
+messages; workers answer ``("result", round, chunk_id, results, stage_totals)``
+-- ``stage_totals`` carries the worker-side
+:class:`~repro.variation.stages.StageAccumulator` snapshot when the
+coordinator asked for it, so stage attribution survives the host boundary --
+or ``("error", ...)`` with the remote traceback.  A worker resolving a
+:class:`~repro.exec.shm.ShmHandle` it cannot see locally (a cross-host
+segment) sends ``("fetch", digest)`` and the coordinator answers ``("blob",
+digest, bytes)``; fetched payloads are cached per worker by digest, so each
+handle crosses the wire once.  Workers emit unsolicited ``("heartbeat",)``
+frames on the cadence the welcome message names.
 
 Fault tolerance
 ---------------
@@ -53,8 +60,8 @@ and goes back to its reconnect loop instead of dying mid-write.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import itertools
-import math
 import os
 import pickle
 import socket
@@ -64,21 +71,28 @@ import sys
 import threading
 import time
 import traceback
-from collections import Counter, deque
+from collections import Counter, OrderedDict, deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import knobs
 from repro.exec.backends import (
     BACKENDS,
     ExecutionBackend,
-    ProcessBackend,
     TaskFn,
     _validate_jobs,
+    steal_partition,
 )
 
 #: Protocol identifier exchanged at handshake; workers and coordinators with
 #: different values refuse each other instead of mis-parsing frames.
-PROTOCOL = "repro-cluster/1"
+#: ``/2`` added worker-side stage totals in result frames and the
+#: ``fetch``/``blob`` shared-memory fallback transfer.
+PROTOCOL = "repro-cluster/3"
+
+#: Entries in the per-connection context cache (coordinator mirror and worker
+#: store use the same capacity and LRU policy, so they never disagree about
+#: which digests the worker still holds).
+CONTEXT_CACHE_SIZE = 32
 
 #: Environment knobs the backend resolves its defaults from, so
 #: ``--backend cluster`` / ``REPRO_MC_BACKEND=cluster`` need no code changes.
@@ -110,6 +124,21 @@ class ClusterTaskError(RuntimeError):
 
 
 # -- framing ---------------------------------------------------------------------------
+
+
+def _enable_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle on a cluster socket.
+
+    The protocol is strict request/response with many small frames (task
+    handles, fetch requests, heartbeats); leaving Nagle on lets small writes
+    queue behind the peer's delayed ACK, adding ~40 ms to every round-trip --
+    which dwarfs the work being dispatched once shm handles replace inline
+    arrays.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - non-TCP transports (tests, AF_UNIX)
+        pass
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -190,16 +219,32 @@ class _WorkerConn:
         self.current: Optional[int] = None
         #: Round ids whose (fn, shared) context payload was already shipped.
         self.contexts_sent: set = set()
+        #: LRU mirror of the worker's content-addressed context store: the
+        #: digests whose unpickled (fn, shared) the worker still caches.  The
+        #: coordinator updates it exactly when it sends a context (full or
+        #: ref) and the worker updates its store exactly when it receives one,
+        #: so over the ordered TCP stream the two views never diverge.
+        self.context_cache: "OrderedDict[str, None]" = OrderedDict()
 
     def send(self, obj: Any = None, raw_parts: Optional[Sequence[Any]] = None) -> None:
-        with self.send_lock:
-            if raw_parts is not None:
-                for part_obj, part_raw in raw_parts:
-                    if part_raw is not None:
-                        send_frame_raw(self.sock, part_raw)
-                    else:
-                        send_frame(self.sock, part_obj)
-            else:
+        if raw_parts is not None:
+            # Coalesce every part into one sendall: a dispatch is typically a
+            # context frame plus a task frame, and tiny back-to-back writes
+            # otherwise become separate TCP segments (and syscalls).
+            chunks: List[bytes] = []
+            for part_obj, part_raw in raw_parts:
+                payload = (
+                    part_raw
+                    if part_raw is not None
+                    else pickle.dumps(part_obj, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                chunks.append(_HEADER.pack(len(payload)))
+                chunks.append(payload)
+            blob = b"".join(chunks)
+            with self.send_lock:
+                self.sock.sendall(blob)
+        else:
+            with self.send_lock:
                 send_frame(self.sock, obj)
 
 
@@ -210,10 +255,16 @@ class _Round:
         self, round_id: int, payload: bytes, chunks: List[List[Any]], max_attempts: int
     ) -> None:
         self.round_id = round_id
-        #: ``pickle.dumps(("context", round_id, pickle.dumps((fn, shared))))`` --
-        #: the expensive shared payload is pickled once and the whole context
-        #: frame reused byte-for-byte for every worker.
+        #: ``pickle.dumps(("context", round_id, digest, pickle.dumps((fn,
+        #: shared))))`` -- the expensive shared payload is pickled once and the
+        #: whole context frame reused byte-for-byte for every worker.
         self.payload = payload
+        #: sha1 of the pickled (fn, shared) blob -- the content address under
+        #: which workers cache the unpickled context across rounds.
+        self.context_digest = ""
+        #: Tiny ``("context_ref", round_id, digest)`` frame sent instead of
+        #: :attr:`payload` to workers that already hold the digest.
+        self.payload_ref = b""
         self.chunks = chunks
         self.pending: Deque[int] = deque(range(len(chunks)))
         self.inflight: Dict[int, _WorkerConn] = {}
@@ -222,6 +273,13 @@ class _Round:
         self.error: Optional[BaseException] = None
         self.max_attempts = max_attempts
         self.context_workers: set = set()
+        #: Whether workers should ship their StageAccumulator snapshots back
+        #: (set when the dispatching parent has stage observers registered).
+        self.want_stages = False
+        #: Worker-side stage totals, folded across chunks as results land --
+        #: only the *first* result of a reassigned chunk counts, so totals
+        #: stay attribution-exact under fault-tolerant re-execution.
+        self.stage_totals: Dict[str, float] = {}
 
     @property
     def finished(self) -> bool:
@@ -296,6 +354,7 @@ class ClusterCoordinator:
 
     def _serve_connection(self, sock: socket.socket, addr: Tuple[str, int]) -> None:
         try:
+            _enable_nodelay(sock)
             sock.settimeout(10.0)
             frame = recv_frame(sock)
             if not (isinstance(frame, tuple) and len(frame) == 2 and frame[0] == "hello"):
@@ -348,13 +407,29 @@ class ClusterCoordinator:
                     frame = recv_frame(worker.sock)
                 except socket.timeout:
                     continue
+                if frame[0] == "fetch":
+                    # Serve a shared-memory payload a remote worker cannot map
+                    # locally.  Handled outside the condition lock: the send
+                    # only needs the worker's own send lock, and a slow blob
+                    # write must not stall scheduling.
+                    from repro.exec import shm as shm_transport
+
+                    digest = frame[1]
+                    try:
+                        worker.send(("blob", digest, shm_transport.published_bytes(digest)))
+                    except (OSError, socket.timeout) as exc:
+                        reason = f"blob send failed: {exc}"
+                        return
+                    with self._cond:
+                        worker.last_recv = time.monotonic()
+                    continue
                 with self._cond:
                     worker.last_recv = time.monotonic()
                     kind = frame[0]
                     if kind == "heartbeat":
                         continue
                     if kind == "result":
-                        _, round_id, chunk_id, results = frame
+                        _, round_id, chunk_id, results, stage_totals = frame
                         rnd = self._round
                         if (
                             rnd is not None
@@ -363,6 +438,11 @@ class ClusterCoordinator:
                         ):
                             rnd.results[chunk_id] = results
                             rnd.inflight.pop(chunk_id, None)
+                            if stage_totals:
+                                for sname, seconds in stage_totals.items():
+                                    rnd.stage_totals[sname] = (
+                                        rnd.stage_totals.get(sname, 0.0) + seconds
+                                    )
                         if worker.current == chunk_id:
                             worker.current = None
                         self._cond.notify_all()
@@ -464,22 +544,42 @@ class ClusterCoordinator:
         return assignments
 
     def map_tasks_chunked(
-        self, fn: TaskFn, shared: Any, chunks: List[List[Any]], worker_wait_s: float
+        self,
+        fn: TaskFn,
+        shared: Any,
+        chunks: List[List[Any]],
+        worker_wait_s: float,
+        context_payload: Optional[bytes] = None,
     ) -> List[List[Any]]:
         """Run every chunk somewhere and return per-chunk results in chunk order.
 
         The scheduling is completion-driven (fast workers take more chunks),
         but the *output* is positionally deterministic: chunk ``i``'s results
-        always land in slot ``i``.
+        always land in slot ``i``.  ``context_payload`` is an optional
+        pre-pickled ``(fn, shared)`` blob -- callers that already serialized
+        the context (e.g. for a picklability probe) pass it to avoid paying
+        for the same pickle twice per round.
         """
+        from repro.variation.stages import emit_totals, stages_active
+
         with self._map_lock:
             if not self._alive:
                 raise RuntimeError("cluster coordinator is shut down")
-            context = pickle.dumps((fn, shared), protocol=pickle.HIGHEST_PROTOCOL)
+            context = (
+                context_payload
+                if context_payload is not None
+                else pickle.dumps((fn, shared), protocol=pickle.HIGHEST_PROTOCOL)
+            )
             with self._cond:
                 rnd = _Round(next(self._round_ids), b"", chunks, self.max_attempts)
+                rnd.want_stages = stages_active()
+                rnd.context_digest = hashlib.sha1(context).hexdigest()
                 rnd.payload = pickle.dumps(
-                    ("context", rnd.round_id, context),
+                    ("context", rnd.round_id, rnd.context_digest, context),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                rnd.payload_ref = pickle.dumps(
+                    ("context_ref", rnd.round_id, rnd.context_digest),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
                 self._round = rnd
@@ -522,20 +622,39 @@ class ClusterCoordinator:
             finally:
                 with self._cond:
                     self._round = None
+                # No explicit "forget" frame: rounds are serialised by
+                # ``_map_lock``, so the next context a worker receives
+                # supersedes this one and the worker drops stale contexts
+                # itself.  Skipping the frame saves one send + worker wakeup
+                # per round, which is measurable on chatty localhost rounds.
                 for worker in list(rnd.context_workers):
-                    try:
-                        worker.send(("forget", rnd.round_id))
-                    except OSError:
-                        pass
+                    worker.contexts_sent.discard(rnd.round_id)
+            # Re-emit the workers' stage totals where the observers live: the
+            # dispatching parent.  This is what keeps cluster bench records
+            # from collapsing to the parent-side ``rng`` stage alone.
+            if rnd.stage_totals:
+                emit_totals(rnd.stage_totals)
             return [rnd.results[i] for i in range(len(chunks))]
 
     def _dispatch(self, worker: _WorkerConn, rnd: _Round, cid: int) -> None:
         try:
             parts: List[Tuple[Any, Optional[bytes]]] = []
             if rnd.round_id not in worker.contexts_sent:
-                parts.append((None, rnd.payload))
+                cache = worker.context_cache
+                if rnd.context_digest in cache:
+                    # The worker still holds this exact (fn, shared): ship a
+                    # ~60-byte ref instead of the full pickled context.
+                    cache.move_to_end(rnd.context_digest)
+                    parts.append((None, rnd.payload_ref))
+                else:
+                    cache[rnd.context_digest] = None
+                    if len(cache) > CONTEXT_CACHE_SIZE:
+                        cache.popitem(last=False)
+                    parts.append((None, rnd.payload))
                 worker.contexts_sent.add(rnd.round_id)
-            parts.append((("task", rnd.round_id, cid, rnd.chunks[cid]), None))
+            parts.append(
+                (("task", rnd.round_id, cid, rnd.chunks[cid], rnd.want_stages), None)
+            )
             worker.send(raw_parts=parts)
         except (OSError, socket.timeout) as exc:
             self._drop_worker(worker, f"send failed: {exc}")
@@ -704,17 +823,36 @@ class ClusterBackend(ExecutionBackend):
         tasks = list(tasks)
         if not tasks:
             return []
-        ProcessBackend.check_picklable(fn, shared, tasks)
+        # The picklability probe doubles as the round's context payload, so
+        # the (fn, shared) blob -- the expensive part when shared carries
+        # arrays -- is serialized exactly once per round.
+        try:
+            context_payload = pickle.dumps(
+                (fn, shared), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            pickle.dumps(tasks[0])
+        except Exception as exc:
+            raise ValueError(
+                "the cluster backend needs picklable tasks: encode specs, "
+                "overrides and workload data instead of live engine objects, "
+                "and use module-level functions (not lambdas or closures) "
+                f"[{type(exc).__name__}: {exc}]"
+            ) from exc
         coordinator = self._ensure_coordinator()
         coordinator.wait_for_workers(self._min_workers, self._wait_s)
         workers = max(coordinator.worker_count, 1)
-        # Same policy as the process backend: ~4 scheduling rounds per worker,
-        # so the per-chunk context shipping amortizes while load still
-        # balances across heterogeneous hosts.
-        size = max(1, math.ceil(len(tasks) / (workers * 4)))
-        chunks = [tasks[i : i + size] for i in range(0, len(tasks), size)]
+        # Same policy as the process backend: size-tiered chunks feed the
+        # completion-driven assignment loop, so fast workers pull more chunks
+        # and a straggler (or a death-requeued chunk) strands at most one
+        # small tail chunk's worth of work.
+        chunks = [
+            tasks[bounds[0] : bounds[-1] + 1]
+            for bounds in steal_partition(len(tasks), workers)
+        ]
         nested = coordinator.map_tasks_chunked(
-            fn, shared, chunks, worker_wait_s=self._wait_s
+            fn, shared, chunks,
+            worker_wait_s=self._wait_s,
+            context_payload=context_payload,
         )
         return [result for chunk in nested for result in chunk]
 
@@ -790,24 +928,82 @@ def _serve_session(sock: socket.socket, quiet: bool) -> str:
                 return
 
     threading.Thread(target=beat, name="cluster-heartbeat", daemon=True).start()
+    from repro.exec import shm as shm_transport
+    from repro.variation.stages import StageAccumulator, observe_stages
+
     contexts: Dict[int, Tuple[TaskFn, Any]] = {}
+    #: Content-addressed store of unpickled (fn, shared) contexts, so rounds
+    #: that re-ship a context this worker already decoded (sweep repeats,
+    #: benchmark loops) cost a ~60-byte ref frame instead of an unpickle.
+    #: Contexts are read-only by contract (the same object may serve many
+    #: rounds), and the LRU policy mirrors the coordinator's per-connection
+    #: bookkeeping exactly -- see ``_WorkerConn.context_cache``.
+    context_store: "OrderedDict[str, Tuple[TaskFn, Any]]" = OrderedDict()
+
+    def store_context(round_id: int, digest: str, value: Tuple[TaskFn, Any]) -> None:
+        context_store[digest] = value
+        context_store.move_to_end(digest)
+        while len(context_store) > CONTEXT_CACHE_SIZE:
+            context_store.popitem(last=False)
+        # Rounds are serialised on the coordinator, so a fresh context
+        # supersedes everything stored before it; dropping stale round ids
+        # here replaces the old per-round "forget" frame.
+        for stale_id in [rid for rid in contexts if rid != round_id]:
+            del contexts[stale_id]
+        contexts[round_id] = value
+    #: Frames that arrived while a blob fetch was waiting for its reply; the
+    #: main loop drains them before reading the socket again.
+    deferred: Deque[Any] = deque()
+
+    def fetch_blob(digest: str) -> Optional[bytes]:
+        """Pull a shared-memory payload the coordinator published.
+
+        Runs inside task execution (the recv loop's own thread), so reading
+        the socket here is safe -- only the heartbeat thread sends
+        concurrently, and it never reads.  Non-blob frames that interleave
+        (e.g. an early ``forget``) are deferred, not dropped.
+        """
+        with send_lock:
+            send_frame(sock, ("fetch", digest))
+        while True:
+            frame = recv_frame(sock)
+            if frame[0] == "blob" and frame[1] == digest:
+                return frame[2]
+            deferred.append(frame)
+
+    shm_transport.set_fetch_hook(fetch_blob)
     sock.settimeout(None)
     try:
         while True:
-            frame = recv_frame(sock)
+            frame = deferred.popleft() if deferred else recv_frame(sock)
             kind = frame[0]
             if kind == "context":
-                _, round_id, blob = frame
-                contexts[round_id] = pickle.loads(blob)
+                _, round_id, digest, blob = frame
+                cached = context_store.get(digest)
+                store_context(
+                    round_id, digest, cached if cached is not None else pickle.loads(blob)
+                )
+            elif kind == "context_ref":
+                _, round_id, digest = frame
+                # Present by construction: the coordinator only sends a ref
+                # for digests its LRU mirror says this worker still holds.
+                store_context(round_id, digest, context_store[digest])
             elif kind == "forget":
                 contexts.pop(frame[1], None)
             elif kind == "task":
-                _, round_id, chunk_id, chunk = frame
+                _, round_id, chunk_id, chunk, want_stages = frame
                 try:
                     fn, shared = contexts[round_id]
-                    results = [fn(shared, task) for task in chunk]
+                    stage_totals: Optional[Dict[str, float]] = None
+                    if want_stages:
+                        accumulator = StageAccumulator()
+                        with observe_stages(accumulator):
+                            results = [fn(shared, task) for task in chunk]
+                        stage_totals = accumulator.totals() or None
+                    else:
+                        results = [fn(shared, task) for task in chunk]
                     payload = pickle.dumps(
-                        ("result", round_id, chunk_id, results),
+                        ("result", round_id, chunk_id, results, stage_totals),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                 except BaseException:  # noqa: BLE001 - shipped back verbatim
@@ -824,6 +1020,7 @@ def _serve_session(sock: socket.socket, quiet: bool) -> str:
     except (OSError, ConnectionError, EOFError):
         return "lost"
     finally:
+        shm_transport.set_fetch_hook(None)
         stop.set()
         try:
             sock.close()
@@ -856,6 +1053,7 @@ def run_worker(
         while True:
             try:
                 sock = socket.create_connection((host, port), timeout=2.0)
+                _enable_nodelay(sock)
                 break
             except OSError:
                 if time.monotonic() >= deadline:

@@ -60,6 +60,7 @@ def merge_cache_stats(
             into = merged.setdefault(stage, CacheStats())
             into.hits += stat.hits
             into.misses += stat.misses
+            into.evictions += stat.evictions
     return merged
 
 
@@ -90,25 +91,27 @@ def scoped_pass_observer(cache: EvaluationCache, telemetry: "WorkerTelemetry", l
     return observe
 
 
-def cache_stats_snapshot(cache: EvaluationCache) -> Dict[str, Tuple[int, int]]:
-    """Cheap ``{stage: (hits, misses)}`` snapshot for later delta computation."""
-    return {stage: (s.hits, s.misses) for stage, s in cache.stats.items()}
+def cache_stats_snapshot(cache: EvaluationCache) -> Dict[str, Tuple[int, int, int]]:
+    """Cheap ``{stage: (hits, misses, evictions)}`` snapshot for delta computation."""
+    return {stage: (s.hits, s.misses, s.evictions) for stage, s in cache.stats.items()}
 
 
 def cache_stats_delta(
-    cache: EvaluationCache, before: Mapping[str, Tuple[int, int]]
+    cache: EvaluationCache, before: Mapping[str, Tuple[int, ...]]
 ) -> Dict[str, CacheStats]:
-    """Hit/miss growth since ``before`` -- the telemetry attributable to one task.
+    """Hit/miss/eviction growth since ``before`` -- one task's telemetry share.
 
     Workers share one cache across the tasks they execute, so returning deltas
     (instead of cumulative totals) keeps the parent's merge double-count-free.
     """
     delta: Dict[str, CacheStats] = {}
     for stage, stats in cache.stats.items():
-        hits0, misses0 = before.get(stage, (0, 0))
-        hits, misses = stats.hits - hits0, stats.misses - misses0
-        if hits or misses:
-            delta[stage] = CacheStats(hits=hits, misses=misses)
+        base = tuple(before.get(stage, ())) + (0, 0, 0)
+        hits = stats.hits - base[0]
+        misses = stats.misses - base[1]
+        evictions = stats.evictions - base[2]
+        if hits or misses or evictions:
+            delta[stage] = CacheStats(hits=hits, misses=misses, evictions=evictions)
     return delta
 
 

@@ -31,7 +31,17 @@ import math
 import pickle
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.arch.architecture import Architecture, ArchitectureConfig
 from repro.core.cache import (
@@ -53,14 +63,18 @@ from repro.dataflow.gemm import GEMMWorkload
 from repro.exec import (
     ExecutionBackend,
     PassTiming,
+    ShmHandle,
     WorkerTelemetry,
     applied_env_snapshot,
+    as_object,
     cache_stats_delta,
     cache_stats_snapshot,
     merge_cache_stats,
+    publish_object,
     repro_env_snapshot,
     resolve_backend,
     scoped_pass_observer,
+    shm_enabled,
 )
 from repro.explore.search import SearchStrategy, resolve_strategy
 from repro.onn.workload import LayerWorkload
@@ -283,7 +297,10 @@ class _DesignTaskContext:
     builder: ArchBuilder
     base_config: ArchitectureConfig
     sim_config: SimulationConfig
-    workloads: Tuple[object, ...]
+    #: Either the workload tuple itself or a :class:`ShmHandle` naming a
+    #: shared-memory segment holding its pickle (zero-copy fan-out: N workers
+    #: attach one segment instead of receiving N pickled operand copies).
+    workloads: Union[Tuple[object, ...], ShmHandle]
     cache_enabled: bool
     cache_max_entries: Optional[int]
     accuracy: Optional[AccuracyRequest] = None
@@ -317,7 +334,7 @@ def _worker_explorer(shared: _DesignTaskContext) -> "DesignSpaceExplorer":
         if explorer is None:
             explorer = DesignSpaceExplorer(
                 shared.builder,
-                list(shared.workloads),
+                list(as_object(shared.workloads)),
                 base_config=shared.base_config,
                 sim_config=shared.sim_config,
                 cache=EvaluationCache(
@@ -518,12 +535,17 @@ class DesignSpaceExplorer:
             if self.accuracy is not None
             else None
         )
+        workloads: Union[Tuple[object, ...], ShmHandle] = tuple(self.workloads)
+        if shm_enabled():
+            # Operand tensors dominate the context payload; publish them once
+            # so every worker task ships a digest instead of the pickle.
+            workloads = publish_object(workloads)
         return _DesignTaskContext(
             key=key,
             builder=self.builder,
             base_config=self.base_config,
             sim_config=self.sim_config,
-            workloads=tuple(self.workloads),
+            workloads=workloads,
             cache_enabled=self.cache.enabled,
             cache_max_entries=self.cache.max_entries,
             accuracy=accuracy,
@@ -607,7 +629,9 @@ class DesignSpaceExplorer:
                     break
 
         own_stats = {
-            stage: CacheStats(hits=stats.hits, misses=stats.misses)
+            stage: CacheStats(
+                hits=stats.hits, misses=stats.misses, evictions=stats.evictions
+            )
             for stage, stats in self.cache.stats.items()
         }
         return ExplorationResult(

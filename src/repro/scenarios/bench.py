@@ -57,7 +57,7 @@ from repro.variation.stages import StageAccumulator, observe_stages
 BENCH_SCHEMA = "repro-bench/2"
 
 #: Default output path -- the repo-root perf-trajectory artifact of this PR.
-DEFAULT_BENCH_PATH = "BENCH_PR7.json"
+DEFAULT_BENCH_PATH = "BENCH_PR10.json"
 
 #: Environment knobs recorded verbatim in every timing block (execution shape).
 _RECORDED_ENV = ("REPRO_MC_TRIALS", "REPRO_MC_BACKEND", "REPRO_MC_JOBS")
@@ -384,6 +384,76 @@ def bench_cluster_scaling(
             serial.median_s / timing.median_s if timing.median_s > 0 else 0.0
         )
         block["cluster"][str(count)] = entry
+    return block
+
+
+#: The dispatch configurations ``bench_dispatch_comparison`` times, in order:
+#: the pre-warm-pool baseline, the persistent pool alone, and the pool plus
+#: shared-memory task transport.
+DISPATCH_MODES: Tuple[Tuple[str, str, str], ...] = (
+    ("cold", "cold", "off"),
+    ("warm", "warm", "off"),
+    ("warm_shm", "warm", "on"),
+)
+
+
+def bench_dispatch_comparison(
+    name: str = "variation_robustness",
+    repeats: int = 3,
+    warmup: int = 1,
+    jobs: Optional[int] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    rng: Optional[str] = None,
+    dtype: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Time one scenario serially and under each process-dispatch configuration.
+
+    Pins ``REPRO_MC_BACKEND=processes`` and sweeps ``(REPRO_POOL, REPRO_SHM)``
+    through :data:`DISPATCH_MODES`: the cold-pool baseline pays executor
+    spin-up on every run, ``warm`` reuses one persistent pool across the timed
+    repeats (the warmup round absorbs the one-time spin-up), and ``warm_shm``
+    additionally ships task arrays as shared-memory digests instead of
+    pickles.  Every entry records ``speedup_vs_serial_median`` against the
+    same-knobs serial baseline and ``dispatch_overhead_s`` -- the ``dispatch``
+    stage total: backend wall-clock not attributable to any worker compute
+    stage (spin-up, pickling, IPC, idle gaps).  Warm pools are stopped between
+    modes so each configuration measures exactly the fleet it claims.
+    """
+    from repro.exec.pool import stop_pools
+
+    with _forced_env("REPRO_MC_BACKEND", "serial"):
+        serial = time_scenario(
+            name, repeats=repeats, warmup=warmup, params=params,
+            mode="vectorized", rng=rng, dtype=dtype,
+        )
+    block: Dict[str, Any] = {
+        "scenario": name,
+        "serial": asdict(serial),
+        "dispatch": {},
+    }
+    for label, pool, shm in DISPATCH_MODES:
+        stop_pools()
+        try:
+            with contextlib.ExitStack() as stack:
+                stack.enter_context(_forced_env("REPRO_MC_BACKEND", "processes"))
+                if jobs is not None:
+                    stack.enter_context(_forced_env("REPRO_MC_JOBS", str(jobs)))
+                stack.enter_context(_forced_env("REPRO_POOL", pool))
+                stack.enter_context(_forced_env("REPRO_SHM", shm))
+                timing = time_scenario(
+                    name, repeats=repeats, warmup=warmup, params=params,
+                    mode="vectorized", rng=rng, dtype=dtype,
+                )
+        finally:
+            stop_pools()
+        entry = asdict(timing)
+        entry["pool"] = pool
+        entry["shm"] = shm
+        entry["speedup_vs_serial_median"] = (
+            serial.median_s / timing.median_s if timing.median_s > 0 else 0.0
+        )
+        entry["dispatch_overhead_s"] = float(timing.stages_s.get("dispatch", 0.0))
+        block["dispatch"][label] = entry
     return block
 
 

@@ -17,15 +17,27 @@ effective bits and the whole Monte Carlo study on the engine cache.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.cache import digest, memoized_fingerprint
 from repro.core.snr import SNRAnalyzer, SNRReport
-from repro.exec import partition_indices, resolve_backend
+from repro.exec import (
+    ShmHandle,
+    as_array,
+    as_object,
+    partition_indices,
+    publish_array,
+    publish_object,
+    resolve_backend,
+    shm_enabled,
+    steal_partition,
+)
 from repro.onn.layers import (
     Module,
     compute_dtype,
@@ -51,7 +63,13 @@ from repro.variation.accuracy import (
 from repro.variation.models import NoiseSpec
 from repro.variation.sampler import make_trial_rng, philox_fused_normals
 from repro.variation.sampler import rng_mode as active_rng_mode
-from repro.variation.stages import stage
+from repro.variation.stages import (
+    StageAccumulator,
+    emit,
+    observe_stages,
+    stage,
+    stages_active,
+)
 
 
 #: Upper bound on trials per batched chunk: large enough to amortize the
@@ -160,11 +178,19 @@ class AccuracyRequest:
 
 @dataclass(frozen=True)
 class _TrialContext:
-    """Picklable task-invariant payload shipped once per worker chunk."""
+    """Picklable task-invariant payload shipped once per worker chunk.
 
-    model: Module
-    inputs: np.ndarray
-    reference: np.ndarray
+    Under task-shipping backends with ``REPRO_SHM=on``, the bulky fields
+    (``model``, ``inputs``, ``reference``) are :class:`~repro.exec.ShmHandle`
+    references to payloads published once per host instead of per-chunk
+    pickled copies; workers materialize them via :func:`_materialized`
+    (content-addressed, so repeated studies reuse the worker's cached
+    attachment and unpickled model).
+    """
+
+    model: Union[Module, ShmHandle]
+    inputs: Union[np.ndarray, ShmHandle]
+    reference: Union[np.ndarray, ShmHandle]
     spec: NoiseSpec
     input_bits: int
     weight_bits: int
@@ -184,8 +210,68 @@ class _TrialContext:
     dtype_mode: str = "float64"
 
 
+def _materialized(shared: _TrialContext) -> _TrialContext:
+    """Resolve any shm handles in the context to live arrays/objects.
+
+    A no-op for in-process backends (which never encode handles).  Worker-side
+    resolution is cached by content digest, so every chunk of a study -- and
+    every later study over the same model -- shares one attachment and one
+    unpickled model per worker process.
+    """
+    if not (
+        isinstance(shared.model, ShmHandle)
+        or isinstance(shared.inputs, ShmHandle)
+        or isinstance(shared.reference, ShmHandle)
+    ):
+        return shared
+    return dataclasses.replace(
+        shared,
+        model=as_object(shared.model),
+        inputs=as_array(shared.inputs),
+        reference=as_array(shared.reference),
+    )
+
+
+def _shm_context(shared: _TrialContext) -> _TrialContext:
+    """Publish the context's bulky fields and swap in their handles."""
+    return dataclasses.replace(
+        shared,
+        model=publish_object(shared.model),
+        inputs=publish_array(shared.inputs),
+        reference=publish_array(shared.reference),
+    )
+
+
+@dataclass(frozen=True)
+class _SlabRows:
+    """A contiguous row window of the study-wide Philox slab, by construction.
+
+    Ships the slab's *generation spec* instead of its bytes: the slab is a
+    pure, memoized function of ``(seed, trials, draws, dtype)``
+    (:func:`philox_fused_normals`), so a worker re-deriving it locally gets
+    the identical read-only array without any transfer or content hashing --
+    cheaper than shm even on the same host, and a ~100-byte task on the
+    cluster wire.  The per-process memo means one generation per study per
+    worker (fork-pool workers usually inherit the parent's already-warm memo).
+    """
+
+    seed: int
+    trials: int
+    draws: int
+    dtype: str
+    start: int
+    stop: int
+
+    def resolve(self) -> np.ndarray:
+        slab = philox_fused_normals(
+            self.seed, self.trials, self.draws, dtype=np.dtype(self.dtype).type
+        )
+        return slab[self.start : self.stop]
+
+
 def _run_trial(shared: _TrialContext, trial: int) -> TrialResult:
     """One Monte Carlo trial: a pure function of the shared context and its index."""
+    shared = _materialized(shared)
     with pinned_modes(shared.forward_mode, shared.dtype_mode):
         return _run_trial_pinned(shared, trial)
 
@@ -226,6 +312,7 @@ def _run_trial_chunk(shared: _TrialContext, trials: List[int]) -> List[TrialResu
     one batched numpy pass per layer per resolved-bits group instead of
     ``len(trials)`` full model clones.
     """
+    shared = _materialized(shared)
     with pinned_modes(shared.forward_mode, shared.dtype_mode):
         return _run_trial_chunk_pinned(shared, trials)
 
@@ -284,17 +371,23 @@ def _effective_bits_for(
 
 
 def _run_philox_chunk(
-    shared: _TrialContext, task: Tuple[List[int], np.ndarray]
+    shared: _TrialContext, task: Tuple[List[int], Any]
 ) -> List[TrialResult]:
     """A chunk of trials driven by pre-generated counter-based draws.
 
     ``task`` is ``(trial_indices, draws)`` where ``draws`` holds each trial's
     row of the study-wide Philox slab: the leading ``loss_draw_count`` columns
-    are the link-loss draws, the rest the fused weight-noise block.  No
-    per-trial generator is ever constructed -- the whole chunk consumes numpy
-    slices of one matrix, which is what makes this mode's RNG cost nearly
-    independent of the trial count.
+    are the link-loss draws, the rest the fused weight-noise block.  Under
+    shm transport ``draws`` is a :class:`_SlabRows` window into the published
+    slab instead of a pickled row copy.  No per-trial generator is ever
+    constructed -- the whole chunk consumes numpy slices of one matrix, which
+    is what makes this mode's RNG cost nearly independent of the trial count.
     """
+    shared = _materialized(shared)
+    trials, draws = task
+    if isinstance(draws, _SlabRows):
+        with stage("rng"):
+            task = (trials, draws.resolve())
     with pinned_modes(shared.forward_mode, shared.dtype_mode):
         return _run_philox_chunk_pinned(shared, task)
 
@@ -336,6 +429,27 @@ def _run_philox_chunk_pinned(
             )
             for i, trial in enumerate(trials)
         ]
+
+
+def _observed_dispatch(dispatch: Callable[[], Any]) -> Any:
+    """Run a backend dispatch, attributing unexplained wall-clock to ``dispatch``.
+
+    With stage observers registered, the compute stages (rng/forward/quantize/
+    metrics) reach the parent either inline (serial/threads) or as shipped
+    worker totals (processes/cluster); whatever part of the dispatch wall-clock
+    those stages do *not* explain is the execution layer's own overhead --
+    pool spin-up, pickling, IPC, scheduling gaps -- and is emitted as the
+    ``dispatch`` stage so bench records show exactly what a backend costs.
+    """
+    if not stages_active():
+        return dispatch()
+    attributed = StageAccumulator()
+    start = time.perf_counter()
+    with observe_stages(attributed):
+        result = dispatch()
+    overhead = (time.perf_counter() - start) - sum(attributed.totals().values())
+    emit("dispatch", max(0.0, overhead))
+    return result
 
 
 def run_monte_carlo(
@@ -396,21 +510,36 @@ def run_monte_carlo(
         dtype_mode=dt_mode,
     )
     backend = resolve_backend(request.backend, request.jobs)
+    if backend.ships_tasks and shm_enabled():
+        # Zero-copy transport: the model/inputs/reference travel as
+        # content-addressed handles; workers resolve (and cache) them once
+        # per host instead of unpickling per-chunk copies.
+        shared = _shm_context(shared)
     if fwd_mode == "loop":
         # Legacy reference path: one task per trial, full model clone each.
         with backend.session():
-            results = backend.map_tasks(
-                _run_trial, list(range(request.trials)), shared=shared
+            results = _observed_dispatch(
+                lambda: backend.map_tasks(
+                    _run_trial, list(range(request.trials)), shared=shared
+                )
             )
     else:
-        # Trial-batched path: shard the trial axis into contiguous chunks, one
-        # per worker but capped at _TRIAL_CHUNK_CAP trials so the stacked
-        # per-layer temporaries stay cache-resident.  The partition is a pure
-        # function of (trials, jobs), so serial, thread and process runs batch
-        # identically; per-trial seeds (or, in philox mode, per-trial slab
-        # rows) make results chunking-invariant anyway.
-        parts = max(backend.jobs, math.ceil(request.trials / _TRIAL_CHUNK_CAP))
-        chunks = partition_indices(request.trials, parts)
+        # Trial-batched path: shard the trial axis into contiguous chunks,
+        # capped at _TRIAL_CHUNK_CAP trials so the stacked per-layer
+        # temporaries stay cache-resident.  In-process backends keep the
+        # near-equal static partition; task-shipping pools get size-tiered
+        # chunks that their completion-driven schedulers pull as workers free
+        # up, so a straggler strands at most one small tail chunk.  Either
+        # way the partition is a pure function of (trials, jobs), and
+        # per-trial seeds (or, in philox mode, per-trial slab rows) make
+        # results chunking-invariant anyway.
+        if backend.ships_tasks:
+            chunks = steal_partition(
+                request.trials, backend.jobs, cap=_TRIAL_CHUNK_CAP
+            )
+        else:
+            parts = max(backend.jobs, math.ceil(request.trials / _TRIAL_CHUNK_CAP))
+            chunks = partition_indices(request.trials, parts)
         if mode == "philox" and request.noise.supports_fused_sampling():
             # Counter-based fast path: generate the whole study's draws as one
             # (trials, loss + weight draws) Philox call in the parent, then
@@ -421,21 +550,39 @@ def run_monte_carlo(
                 request.noise.weight_draw_count(size)
                 for size in _weighted_layer_sizes(request.model)
             )
-            with stage("rng"):
-                slab = philox_fused_normals(
-                    request.seed,
-                    request.trials,
-                    loss_columns + weight_columns,
-                    dtype=compute_dtype().type,
-                )
-            tasks = [
-                (chunk, slab[chunk[0] : chunk[-1] + 1]) for chunk in chunks
-            ]
+            draws = loss_columns + weight_columns
+            dtype = compute_dtype()
+            if backend.ships_tasks:
+                # Each task carries a ~100-byte generation spec; the worker
+                # re-derives its rows from the memoized pure slab function
+                # instead of receiving pickled (or even shm-published) bytes.
+                tasks = [
+                    (
+                        chunk,
+                        _SlabRows(
+                            int(request.seed), request.trials, draws,
+                            dtype.str, chunk[0], chunk[-1] + 1,
+                        ),
+                    )
+                    for chunk in chunks
+                ]
+            else:
+                with stage("rng"):
+                    slab = philox_fused_normals(
+                        request.seed, request.trials, draws, dtype=dtype.type
+                    )
+                tasks = [
+                    (chunk, slab[chunk[0] : chunk[-1] + 1]) for chunk in chunks
+                ]
             with backend.session():
-                nested = backend.map_tasks(_run_philox_chunk, tasks, shared=shared)
+                nested = _observed_dispatch(
+                    lambda: backend.map_tasks(_run_philox_chunk, tasks, shared=shared)
+                )
         else:
             with backend.session():
-                nested = backend.map_tasks(_run_trial_chunk, chunks, shared=shared)
+                nested = _observed_dispatch(
+                    lambda: backend.map_tasks(_run_trial_chunk, chunks, shared=shared)
+                )
         results = [result for chunk_results in nested for result in chunk_results]
     return aggregate_trials(
         tuple(results),

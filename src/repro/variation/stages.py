@@ -23,8 +23,10 @@ import threading
 import time
 from typing import Callable, Dict, Iterator, List
 
-#: The stage names the variation pipeline attributes time to.
-STAGE_NAMES = ("rng", "forward", "quantize", "metrics")
+#: The stage names the variation pipeline attributes time to.  ``dispatch``
+#: is the execution layer's own share: backend wall-clock not attributable to
+#: any worker-reported compute stage (pool spin-up, pickling, IPC, idle gaps).
+STAGE_NAMES = ("rng", "forward", "quantize", "metrics", "dispatch")
 
 #: Registered stage observers.  Mutated only under the lock: concurrent
 #: ``observe_stages`` scopes (e.g. thread-backend benchmarks) would otherwise
@@ -48,6 +50,27 @@ def observe_stages(callback: Callable[[str, float], None]) -> Iterator[None]:
     finally:
         with _OBSERVERS_LOCK:
             _OBSERVERS.remove(callback)
+
+
+def emit(name: str, seconds: float) -> None:
+    """Report an externally measured stage duration to the observers.
+
+    The re-entry point for timings that crossed a process or host boundary:
+    process-pool chunks and cluster workers accumulate their own ``stage``
+    blocks and ship the totals home, where the parent emits them into its
+    observers so ``observe_stages`` sees one complete attribution regardless
+    of backend.
+    """
+    if not _OBSERVERS:
+        return
+    for callback in list(_OBSERVERS):
+        callback(name, seconds)
+
+
+def emit_totals(totals: Dict[str, float]) -> None:
+    """Emit a ``{stage: seconds}`` map (a shipped accumulator snapshot)."""
+    for name, seconds in totals.items():
+        emit(name, seconds)
 
 
 @contextlib.contextmanager

@@ -15,3 +15,10 @@ class ShardTask:
     def __init__(self, path):
         self.lock = threading.Lock()
         self.handle = open(path)
+
+
+class ShardedArrayContext:
+    def __init__(self, name):
+        from multiprocessing.shared_memory import SharedMemory
+
+        self.segment = SharedMemory(name=name)

@@ -1,0 +1,16 @@
+# repro-lint-fixture: src/repro/exec/tasks_shm_bad.py
+"""R004 bad fixture: raw SharedMemory fields on shipped task classes."""
+
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SliceTaskContext:
+    segment: Optional[SharedMemory] = None
+
+
+class SliceTask:
+    def __init__(self, name):
+        self.segment = SharedMemory(name=name)

@@ -1,0 +1,17 @@
+# repro-lint-fixture: src/repro/exec/tasks_shm_good.py
+"""R004 good fixture: shm payloads travel as ShmHandle, never raw segments."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exec.shm import ShmHandle
+
+
+@dataclass(frozen=True)
+class SliceTaskContext:
+    payload: Optional[ShmHandle] = None
+
+
+class SliceTask:
+    def __init__(self, payload):
+        self.payload = payload

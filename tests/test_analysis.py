@@ -121,6 +121,27 @@ def test_r004_clean_on_plain_data_classes():
     assert findings_for("r004_good.py", rules=["R004"]) == []
 
 
+def test_r004_flags_raw_shared_memory_on_task_classes():
+    findings = findings_for("r004_bad.py", "r004_bad_shm.py", rules=["R004"])
+    messages = [f.message for f in findings]
+    assert any(
+        "raw SharedMemory segment stored" in m and "ShardedArrayContext" in m
+        for m in messages
+    )
+    assert any(
+        "raw SharedMemory field declared" in m and "SliceTaskContext" in m
+        for m in messages
+    )
+    assert any(
+        "raw SharedMemory segment stored" in m and "SliceTask" in m
+        for m in messages
+    )
+
+
+def test_r004_clean_on_shm_handle_fields():
+    assert findings_for("r004_good_shm.py", rules=["R004"]) == []
+
+
 # -- R005 frozen state -----------------------------------------------------------------
 
 

@@ -90,6 +90,36 @@ class TestEvaluationCache:
         with pytest.raises(ValueError):
             EvaluationCache(max_entries=0)
 
+    def test_lru_hit_promotes_entry(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.get_or_compute("s", 1, lambda: "a")
+        cache.get_or_compute("s", 2, lambda: "b")
+        # Touch key 1: it becomes most-recent, so inserting key 3 drops key 2.
+        cache.get_or_compute("s", 1, lambda: "a-stale")
+        cache.get_or_compute("s", 3, lambda: "c")
+        calls = []
+        assert cache.get_or_compute("s", 1, lambda: calls.append(1) or "a2") == "a"
+        assert calls == []
+        assert cache.get_or_compute("s", 2, lambda: "b2") == "b2"
+
+    def test_evictions_counted_against_evicted_stage(self):
+        cache = EvaluationCache(max_entries=1)
+        cache.get_or_compute("alpha", 1, lambda: "a")
+        cache.get_or_compute("beta", 1, lambda: "b")
+        assert cache.stats["alpha"].evictions == 1
+        assert cache.stats["beta"].evictions == 0
+
+    def test_max_entries_defaults_from_knob(self):
+        from repro.core.knobs import forced_env
+
+        with forced_env("REPRO_CACHE_MAX_ENTRIES", "3"):
+            cache = EvaluationCache()
+        assert cache.max_entries == 3
+        for key in range(5):
+            cache.get_or_compute("s", key, lambda: key)
+        assert len(cache) == 3
+        assert cache.stats["s"].evictions == 2
+
 
 class TestCanonicalHashing:
     def test_scalars_pass_through(self):
